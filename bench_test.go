@@ -1,0 +1,149 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation. Each benchmark runs its experiment end to end (testbed
+// repetitions, calibration, simulation) in Quick mode, so `go test
+// -bench=.` doubles as a full smoke reproduction; run cmd/bbexp for the
+// paper-scale sweeps.
+package bbwfsim_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"bbwfsim/internal/experiments"
+)
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.Find(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	opts := experiments.Options{Quick: true, Seed: 1}
+	var tables []*experiments.Table
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		tables, err = e.Run(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if len(tables) == 0 || len(tables[0].Rows) == 0 {
+		b.Fatalf("experiment %s produced no data", id)
+	}
+	// Surface the headline number of the experiment as a benchmark metric
+	// where one exists (average error, last-row makespan).
+	for _, t := range tables {
+		for _, note := range t.Notes {
+			if !strings.Contains(note, "error") {
+				continue
+			}
+			if v, ok := extractPercent(note); ok {
+				b.ReportMetric(v, "avg_err_%")
+				return
+			}
+		}
+	}
+	last := tables[0].Rows[len(tables[0].Rows)-1]
+	if v, err := strconv.ParseFloat(strings.Fields(last[len(last)-1])[0], 64); err == nil {
+		b.ReportMetric(v, "last_value")
+	}
+}
+
+// extractPercent pulls the first "12.3%" out of a note string.
+func extractPercent(s string) (float64, bool) {
+	for _, f := range strings.Fields(s) {
+		if strings.HasSuffix(f, "%") {
+			if v, err := strconv.ParseFloat(strings.TrimSuffix(f, "%"), 64); err == nil {
+				return v, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// BenchmarkTable1PlatformParams regenerates Table I.
+func BenchmarkTable1PlatformParams(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkFig4StageIn regenerates Figure 4 (stage-in time vs. staged
+// fraction).
+func BenchmarkFig4StageIn(b *testing.B) { runExperiment(b, "fig4") }
+
+// BenchmarkFig5TaskTimes regenerates Figure 5 (task times per mode and
+// intermediate placement).
+func BenchmarkFig5TaskTimes(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkFig6Cores regenerates Figure 6 (task times vs. cores).
+func BenchmarkFig6Cores(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFig7Pipelines regenerates Figure 7 (task times vs. concurrent
+// pipelines).
+func BenchmarkFig7Pipelines(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkFig8Variability regenerates Figure 8 (run-to-run variability).
+func BenchmarkFig8Variability(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFig9Bandwidth regenerates Figure 9 (achieved BB bandwidth).
+func BenchmarkFig9Bandwidth(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkFig10Accuracy regenerates Figure 10 (real vs. simulated
+// makespan vs. staged fraction).
+func BenchmarkFig10Accuracy(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkFig11AccuracyPipelines regenerates Figure 11 (real vs.
+// simulated makespan vs. pipeline count).
+func BenchmarkFig11AccuracyPipelines(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkFig13Genomes regenerates Figure 13 (1000Genomes makespan
+// sweep).
+func BenchmarkFig13Genomes(b *testing.B) { runExperiment(b, "fig13") }
+
+// BenchmarkFig14Speedup regenerates Figure 14 (1000Genomes speedup +
+// prior-study reference).
+func BenchmarkFig14Speedup(b *testing.B) { runExperiment(b, "fig14") }
+
+// BenchmarkAblationPlacement regenerates the placement-heuristics
+// ablation (extension).
+func BenchmarkAblationPlacement(b *testing.B) { runExperiment(b, "ablation-placement") }
+
+// BenchmarkAblationCalibration regenerates the Eq. 3 vs. Eq. 4
+// calibration ablation (extension).
+func BenchmarkAblationCalibration(b *testing.B) { runExperiment(b, "ablation-model") }
+
+// BenchmarkAblationScheduler regenerates the WMS scheduling-policy
+// ablation (extension).
+func BenchmarkAblationScheduler(b *testing.B) { runExperiment(b, "ablation-scheduler") }
+
+// BenchmarkAblationLifecycle regenerates the scratch-data lifecycle
+// ablation (extension).
+func BenchmarkAblationLifecycle(b *testing.B) { runExperiment(b, "ablation-lifecycle") }
+
+// BenchmarkAblationVisibility regenerates the private-mode visibility
+// ablation (extension).
+func BenchmarkAblationVisibility(b *testing.B) { runExperiment(b, "ablation-visibility") }
+
+// BenchmarkAblationCheckpoint regenerates the checkpoint-interference
+// ablation (extension).
+func BenchmarkAblationCheckpoint(b *testing.B) { runExperiment(b, "ablation-checkpoint") }
+
+// BenchmarkAblationOptimizer regenerates the simulator-in-the-loop
+// placement search (extension).
+func BenchmarkAblationOptimizer(b *testing.B) { runExperiment(b, "ablation-optimizer") }
+
+// BenchmarkScalability measures the simulator's own cost vs. workflow
+// size.
+func BenchmarkScalability(b *testing.B) { runExperiment(b, "scalability") }
+
+// BenchmarkAblationLambda regenerates the λ_io-source ablation
+// (extension).
+func BenchmarkAblationLambda(b *testing.B) { runExperiment(b, "ablation-lambda") }
+
+// BenchmarkAblationStructures regenerates the workflow-structure ablation
+// (extension).
+func BenchmarkAblationStructures(b *testing.B) { runExperiment(b, "ablation-structures") }
+
+// BenchmarkAblationSizing regenerates the BB-provisioning ablation
+// (extension).
+func BenchmarkAblationSizing(b *testing.B) { runExperiment(b, "ablation-sizing") }

@@ -1,0 +1,97 @@
+// Command bbexp regenerates the paper's tables and figures from the
+// reproduction's simulator and synthetic testbed.
+//
+// Usage:
+//
+//	bbexp -exp fig4            # one experiment
+//	bbexp -exp all             # everything, in paper order
+//	bbexp -list                # list experiment IDs
+//	bbexp -exp fig10 -reps 30  # more testbed repetitions
+//	bbexp -exp all -quick      # reduced sweeps (smoke test)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bbwfsim/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment ID (see -list) or \"all\"")
+		list   = flag.Bool("list", false, "list experiment IDs and exit")
+		reps   = flag.Int("reps", 0, "testbed repetitions per configuration (default 15, paper's protocol)")
+		seed   = flag.Int64("seed", 1, "base seed for testbed noise")
+		quick  = flag.Bool("quick", false, "reduced sweeps and repetitions")
+		out    = flag.String("o", "", "write output to file instead of stdout")
+		format = flag.String("format", "text", "output format: text or csv")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-20s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "bbexp: -exp required (or -list); try -exp all")
+		os.Exit(2)
+	}
+
+	var selected []experiments.Experiment
+	if *exp == "all" {
+		selected = experiments.All()
+	} else {
+		e, ok := experiments.Find(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "bbexp: unknown experiment %q; use -list\n", *exp)
+			os.Exit(2)
+		}
+		selected = []experiments.Experiment{e}
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bbexp: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	if *format != "text" && *format != "csv" {
+		fmt.Fprintf(os.Stderr, "bbexp: unknown format %q (want text or csv)\n", *format)
+		os.Exit(2)
+	}
+	opts := experiments.Options{Reps: *reps, Seed: *seed, Quick: *quick}
+	for _, e := range selected {
+		tables, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bbexp: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if *format == "csv" {
+			for _, t := range tables {
+				fmt.Fprintf(w, "# %s\n", t.ID)
+				if err := t.CSV(w); err != nil {
+					fmt.Fprintf(os.Stderr, "bbexp: %v\n", err)
+					os.Exit(1)
+				}
+				fmt.Fprintln(w)
+			}
+			continue
+		}
+		fmt.Fprintf(w, "# %s — %s\n\n", e.ID, e.Title)
+		for _, t := range tables {
+			if err := t.Fprint(w); err != nil {
+				fmt.Fprintf(os.Stderr, "bbexp: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

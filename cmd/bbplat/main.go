@@ -1,0 +1,74 @@
+// Command bbplat exports the built-in platform presets as editable JSON or
+// XML description files — the starting point for modeling a machine that
+// is not Cori or Summit.
+//
+// Usage:
+//
+//	bbplat -preset summit -format xml           # one preset to stdout
+//	bbplat -all -dir platforms                  # every preset, both formats
+//	bbplat -preset cori-striped -nodes 16       # resized preset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"bbwfsim/internal/platform"
+)
+
+func main() {
+	var (
+		preset = flag.String("preset", "", "preset name: cori-private, cori-striped, summit")
+		format = flag.String("format", "json", "output format: json or xml")
+		nodes  = flag.Int("nodes", 1, "node count")
+		all    = flag.Bool("all", false, "write every preset in both formats into -dir")
+		dir    = flag.String("dir", "platforms", "output directory for -all")
+	)
+	flag.Parse()
+
+	presets := platform.Presets(*nodes)
+	if *all {
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			fatal(err)
+		}
+		for name, cfg := range presets {
+			if err := platform.SaveConfig(filepath.Join(*dir, name+".json"), cfg); err != nil {
+				fatal(err)
+			}
+			if err := platform.SaveXML(filepath.Join(*dir, name+".xml"), cfg); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("wrote %d presets (json + xml) to %s/\n", len(presets), *dir)
+		return
+	}
+
+	cfg, ok := presets[*preset]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "bbplat: unknown preset %q (want cori-private, cori-striped, summit)\n", *preset)
+		os.Exit(2)
+	}
+	var (
+		data []byte
+		err  error
+	)
+	switch *format {
+	case "json":
+		data, err = platform.MarshalConfig(cfg)
+	case "xml":
+		data, err = platform.MarshalXML(cfg)
+	default:
+		err = fmt.Errorf("unknown format %q (want json or xml)", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	os.Stdout.Write(append(data, '\n'))
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "bbplat: %v\n", err)
+	os.Exit(1)
+}

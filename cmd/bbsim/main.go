@@ -1,0 +1,155 @@
+// Command bbsim runs one simulated workflow execution and reports the
+// makespan, per-category task summaries, and storage traffic.
+//
+// Usage:
+//
+//	bbsim -workflow wf.json -platform cori-private -fraction 0.5
+//	bbsim -workflow wf.json -platform my-platform.json -intermediates-bb
+//	bbsim -workflow wf.json -platform summit -trace trace.json
+//
+// The -platform flag accepts a preset name (cori-private, cori-striped,
+// summit) or a path to a platform JSON description.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"bbwfsim/internal/core"
+	"bbwfsim/internal/exec"
+	"bbwfsim/internal/platform"
+	"bbwfsim/internal/units"
+	"bbwfsim/internal/workflow"
+)
+
+func main() {
+	var (
+		wfPath    = flag.String("workflow", "", "workflow JSON file (required)")
+		platName  = flag.String("platform", "cori-private", "platform preset name or JSON file")
+		nodes     = flag.Int("nodes", 1, "node count for preset platforms")
+		fraction  = flag.Float64("fraction", 0, "fraction of input files staged to the burst buffer [0,1]")
+		interBB   = flag.Bool("intermediates-bb", false, "place intermediate files on the burst buffer")
+		cores     = flag.Int("cores", 0, "override cores per compute task (0 = task request)")
+		prePlace  = flag.Bool("preplace", false, "pre-place workflow inputs on their targets at no cost")
+		tracePath = flag.String("trace", "", "write the full event trace to this JSON file")
+		gantt     = flag.Bool("gantt", false, "print an ASCII Gantt chart of the execution")
+		evict     = flag.Bool("evict", false, "free BB replicas after their last consumer (lifecycle management)")
+		private   = flag.Bool("enforce-private", false, "enforce the private-mode BB visibility rule")
+		nodePol   = flag.String("node-policy", "first-fit", "node selection: first-fit, least-loaded, round-robin")
+		orderPol  = flag.String("order-policy", "fifo", "ready-queue order: fifo, largest-work, critical-path")
+	)
+	flag.Parse()
+
+	if *wfPath == "" {
+		fmt.Fprintln(os.Stderr, "bbsim: -workflow required")
+		os.Exit(2)
+	}
+	wf, err := workflow.Load(*wfPath)
+	if err != nil {
+		fatal(err)
+	}
+	cfg, err := loadPlatform(*platName, *nodes)
+	if err != nil {
+		fatal(err)
+	}
+	sim, err := core.NewSimulator(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	np, err := parseNodePolicy(*nodePol)
+	if err != nil {
+		fatal(err)
+	}
+	op, err := parseOrderPolicy(*orderPol)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := sim.Run(wf, core.RunOptions{
+		StagedFraction:           *fraction,
+		IntermediatesToBB:        *interBB,
+		CoresPerTask:             *cores,
+		PrePlaceInputs:           *prePlace,
+		EvictAfterLastRead:       *evict,
+		EnforcePrivateVisibility: *private,
+		NodePolicy:               np,
+		OrderPolicy:              op,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("workflow:  %s (%d tasks, %d files)\n", wf.Name(), len(wf.Tasks()), len(wf.Files()))
+	fmt.Printf("platform:  %s (%d nodes × %d cores)\n", cfg.Name, cfg.Nodes, cfg.CoresPerNode)
+	fmt.Printf("staged:    %.0f%% of input files to BB, intermediates on %s\n",
+		100**fraction, map[bool]string{true: "BB", false: "PFS"}[*interBB])
+	fmt.Printf("makespan:  %.2f s\n\n", res.Makespan)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "task\tcount\tmean exec [s]\tmean I/O [s]\tmean compute [s]\tread\twritten")
+	for _, s := range res.Summaries {
+		fmt.Fprintf(tw, "%s\t%d\t%.2f\t%.2f\t%.2f\t%v\t%v\n",
+			s.Name, s.Count, s.MeanExec, s.MeanIO, s.MeanCompute, s.BytesRead, s.BytesWritten)
+	}
+	tw.Flush()
+
+	fmt.Printf("\nBB traffic:  %v read (%v avg), %v written (%v avg)\n",
+		res.BB.BytesRead, res.BB.ReadBandwidth(), res.BB.BytesWritten, res.BB.WriteBandwidth())
+	fmt.Printf("PFS traffic: %v read (%v avg), %v written (%v avg)\n",
+		res.PFS.BytesRead, res.PFS.ReadBandwidth(), res.PFS.BytesWritten, res.PFS.WriteBandwidth())
+
+	if *gantt {
+		fmt.Println()
+		if err := res.Trace.RenderGantt(os.Stdout, 72); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *tracePath != "" {
+		if err := res.Trace.Save(*tracePath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace written to %s\n", *tracePath)
+	}
+	_ = units.Bytes(0)
+}
+
+func parseNodePolicy(s string) (exec.NodePolicy, error) {
+	switch s {
+	case "first-fit":
+		return exec.NodeFirstFit, nil
+	case "least-loaded":
+		return exec.NodeLeastLoaded, nil
+	case "round-robin":
+		return exec.NodeRoundRobin, nil
+	}
+	return 0, fmt.Errorf("bbsim: unknown node policy %q", s)
+}
+
+func parseOrderPolicy(s string) (exec.OrderPolicy, error) {
+	switch s {
+	case "fifo":
+		return exec.OrderFIFO, nil
+	case "largest-work":
+		return exec.OrderLargestWork, nil
+	case "critical-path":
+		return exec.OrderCriticalPath, nil
+	}
+	return 0, fmt.Errorf("bbsim: unknown order policy %q", s)
+}
+
+func loadPlatform(name string, nodes int) (platform.Config, error) {
+	if cfg, ok := platform.Presets(nodes)[name]; ok {
+		return cfg, nil
+	}
+	if _, err := os.Stat(name); err == nil {
+		return platform.LoadConfig(name)
+	}
+	return platform.Config{}, fmt.Errorf("bbsim: unknown platform %q (not a preset, not a file)", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "bbsim: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,116 @@
+// Command wfgen generates workflow description files for the two workloads
+// the paper studies.
+//
+// Usage:
+//
+//	wfgen -type swarp -pipelines 8 -cores 32 -o swarp.json
+//	wfgen -type genomes -chromosomes 22 -o genomes.json
+//	wfgen -type swarp -pipelines 1 -stats        # print stats only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bbwfsim/internal/genomes"
+	"bbwfsim/internal/swarp"
+	"bbwfsim/internal/workflow"
+	"bbwfsim/internal/workloads"
+)
+
+func main() {
+	var (
+		typ        = flag.String("type", "swarp", "workload: swarp, genomes, chain, fork-join, reduce-tree, broadcast, random-layered")
+		pipelines  = flag.Int("pipelines", 1, "swarp: number of pipelines")
+		cores      = flag.Int("cores", 32, "swarp: cores per compute task")
+		chrom      = flag.Int("chromosomes", genomes.DefaultChromosomes, "genomes: chromosomes")
+		slices     = flag.Int("slices", genomes.SlicesPerChromosome, "genomes: individuals tasks per chromosome")
+		width      = flag.Int("width", 16, "patterns: width / leaves / chain length")
+		smallFiles = flag.Bool("small-files", false, "patterns: many small files per edge instead of one large file")
+		seed       = flag.Int64("seed", 42, "patterns: seed for random-layered")
+		out        = flag.String("o", "", "output file (default stdout)")
+		statsOnly  = flag.Bool("stats", false, "print workflow statistics instead of JSON")
+	)
+	flag.Parse()
+
+	var (
+		wf  *workflow.Workflow
+		err error
+	)
+	regime := workloads.FewLarge
+	if *smallFiles {
+		regime = workloads.ManySmall
+	}
+	wp := workloads.Params{Regime: regime}
+	switch *typ {
+	case "swarp":
+		wf, err = swarp.New(swarp.Params{Pipelines: *pipelines, CoresPerTask: *cores})
+	case "genomes":
+		wf, err = genomes.New(genomes.Params{Chromosomes: *chrom, Slices: *slices})
+	case "chain":
+		wf, err = workloads.Chain(*width, wp)
+	case "fork-join":
+		wf, err = workloads.ForkJoin(*width, wp)
+	case "reduce-tree":
+		wf, err = workloads.ReduceTree(*width, wp)
+	case "broadcast":
+		wf, err = workloads.Broadcast(*width, wp)
+	case "random-layered":
+		wf, err = workloads.RandomLayered(*seed, 4, *width, 0.3, wp)
+	default:
+		err = fmt.Errorf("unknown workload type %q", *typ)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if *statsOnly {
+		st, err := wf.ComputeStats()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("workflow:     %s\n", wf.Name())
+		fmt.Printf("tasks:        %d (depth %d, max width %d)\n", st.Tasks, st.Depth, st.MaxParallel)
+		fmt.Printf("files:        %d (%d inputs)\n", st.Files, st.InputFiles)
+		fmt.Printf("footprint:    %v total, %v input (%.0f%%), %v intermediate\n",
+			st.TotalBytes, st.InputBytes, 100*float64(st.InputBytes)/float64(st.TotalBytes), st.IntermedBytes)
+		fmt.Printf("work:         %v\n", st.TotalWork)
+		for _, name := range sortedKeys(st.TasksByName) {
+			fmt.Printf("  %-20s %d\n", name, st.TasksByName[name])
+		}
+		return
+	}
+
+	data, err := workflow.Marshal(wf)
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d tasks, %d files)\n", *out, len(wf.Tasks()), len(wf.Files()))
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "wfgen: %v\n", err)
+	os.Exit(1)
+}

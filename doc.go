@@ -1,0 +1,26 @@
+// Package bbwfsim reproduces "Modeling the Performance of Scientific
+// Workflow Executions on HPC Platforms with Burst Buffers" (Pottier,
+// Ferreira da Silva, Casanova, Deelman — IEEE CLUSTER 2020) as a
+// self-contained Go library.
+//
+// The library is organized as one package per subsystem under internal/
+// (see DESIGN.md for the full inventory):
+//
+//   - internal/sim and internal/flow: a discrete-event kernel with a
+//     SimGrid-style max-min fair fluid bandwidth-sharing model;
+//   - internal/platform, internal/storage: platform descriptions (Table I
+//     presets for Cori and Summit) and storage services (PFS, shared burst
+//     buffer in private/striped modes, node-local burst buffer);
+//   - internal/workflow, internal/exec: workflow DAGs and the workflow
+//     management system that executes them;
+//   - internal/calib, internal/core: the paper's calibration model
+//     (Eq. 1–4) and the top-level simulator API;
+//   - internal/testbed: the synthetic ground truth standing in for the
+//     real Cori and Summit machines;
+//   - internal/swarp, internal/genomes: the SWarp and 1000Genomes workload
+//     generators;
+//   - internal/experiments: one runner per paper table and figure.
+//
+// The benchmarks in bench_test.go regenerate every evaluation artifact;
+// cmd/bbexp does the same from the command line.
+package bbwfsim

@@ -1,0 +1,58 @@
+// genomes-case-study reproduces the paper's Section IV-C study in
+// miniature: sweep the fraction of 1000Genomes input files allocated in
+// the burst buffer on Cori-like and Summit-like platforms and report the
+// makespan and speedup series of Figures 13 and 14.
+//
+//	go run ./examples/genomes-case-study            # 22 chromosomes, 903 tasks
+//	go run ./examples/genomes-case-study -chrom 4   # smaller instance
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"bbwfsim/internal/core"
+	"bbwfsim/internal/genomes"
+	"bbwfsim/internal/platform"
+)
+
+func main() {
+	chrom := flag.Int("chrom", genomes.DefaultChromosomes, "chromosomes in the instance")
+	nodes := flag.Int("nodes", 8, "compute nodes per platform")
+	flag.Parse()
+
+	wf, err := genomes.New(genomes.Params{Chromosomes: *chrom})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := wf.ComputeStats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("1000Genomes: %d tasks, %.1f GB footprint, %.1f GB input (%.0f%%)\n\n",
+		st.Tasks, float64(st.TotalBytes)/1e9, float64(st.InputBytes)/1e9,
+		100*float64(st.InputBytes)/float64(st.TotalBytes))
+
+	fractions := []float64{0, 0.2, 0.4, 0.6, 0.8, 1}
+	cori := core.MustNewSimulator(platform.Cori(*nodes, platform.BBPrivate))
+	summit := core.MustNewSimulator(platform.Summit(*nodes))
+	opts := core.RunOptions{PrePlaceInputs: true}
+
+	coriMs, err := cori.SweepFractions(wf, fractions, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	summitMs, err := summit.SweepFractions(wf, fractions, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-8s %12s %12s %14s %14s\n", "% in BB", "cori [s]", "summit [s]", "cori speedup", "summit speedup")
+	for i, q := range fractions {
+		fmt.Printf("%-8.0f %12.2f %12.2f %14.2f %14.2f\n",
+			100*q, coriMs[i], summitMs[i], coriMs[0]/coriMs[i], summitMs[0]/summitMs[i])
+	}
+	fmt.Println("\nExpected (paper Figs. 13-14): near-linear gains; cori plateaus past ~80%")
+	fmt.Println("staged (BB bandwidth saturation), summit keeps gaining until ~100%.")
+}

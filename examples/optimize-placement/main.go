@@ -1,0 +1,75 @@
+// optimize-placement demonstrates the paper's proposed future work: use
+// the simulator as a cheap evaluation oracle and search the data-placement
+// space directly, instead of trusting a fixed heuristic.
+//
+//	go run ./examples/optimize-placement
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bbwfsim/internal/core"
+	"bbwfsim/internal/genomes"
+	"bbwfsim/internal/optimize"
+	"bbwfsim/internal/placement"
+	"bbwfsim/internal/platform"
+)
+
+func main() {
+	wf, err := genomes.New(genomes.Params{Chromosomes: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := wf.ComputeStats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	budget := st.TotalBytes.Times(0.3)
+
+	cfg := platform.Cori(4, platform.BBPrivate)
+	cfg.BB.Capacity = budget
+	sim, err := core.NewSimulator(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	oracle := func(pol *placement.Set) (float64, error) {
+		res, err := sim.Run(wf, core.RunOptions{Placement: pol, PrePlaceInputs: true})
+		if err != nil {
+			return 0, err
+		}
+		return res.Makespan, nil
+	}
+
+	fmt.Printf("1000Genomes (4 chrom), BB capacity %v (30%% of footprint)\n\n", budget)
+
+	// Static baselines.
+	for _, pol := range []*placement.Set{
+		placement.AllPFS(),
+		placement.NewSizeGreedy(wf, budget, false),
+		placement.NewFanoutGreedy(wf, budget),
+	} {
+		ms, err := oracle(pol)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-24s makespan %8.2f s\n", pol.Name(), ms)
+	}
+
+	// Simulator-in-the-loop search.
+	res, err := optimize.LocalSearch(wf, oracle, optimize.Params{
+		Budget:     budget,
+		Iterations: 120,
+		Seed:       1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-24s makespan %8.2f s   (%d simulations, %d files on BB)\n",
+		"local search", res.BestMakespan, res.Evaluations, res.Best.Count())
+
+	fmt.Println("\nBest-so-far trajectory (every 20 evaluations):")
+	for i := 0; i < len(res.History); i += 20 {
+		fmt.Printf("  eval %3d: %8.2f s\n", i+1, res.History[i])
+	}
+}

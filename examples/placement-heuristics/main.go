@@ -1,0 +1,65 @@
+// placement-heuristics explores the data-placement design space the paper
+// names as future work: when the burst buffer cannot hold the full
+// workflow footprint, which files should live there?
+//
+//	go run ./examples/placement-heuristics
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bbwfsim/internal/core"
+	"bbwfsim/internal/genomes"
+	"bbwfsim/internal/placement"
+	"bbwfsim/internal/platform"
+	"bbwfsim/internal/workflow"
+)
+
+func main() {
+	wf, err := genomes.New(genomes.Params{Chromosomes: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := wf.ComputeStats()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Constrain the BB to a quarter of the data footprint.
+	budget := st.TotalBytes.Times(0.25)
+	cfg := platform.Cori(8, platform.BBPrivate)
+	cfg.BB.Capacity = budget
+	sim, err := core.NewSimulator(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dur := func(t *workflow.Task) float64 { return float64(t.Work()) }
+	critical, err := placement.NewCriticalPath(wf, budget, dur)
+	if err != nil {
+		log.Fatal(err)
+	}
+	policies := []*placement.Set{
+		placement.AllPFS(),
+		placement.NewSizeGreedy(wf, budget, true),  // many small files
+		placement.NewSizeGreedy(wf, budget, false), // few large files
+		placement.NewFanoutGreedy(wf, budget),      // most-read files
+		critical,
+	}
+
+	fmt.Printf("1000Genomes (8 chrom), BB capacity %v (25%% of %v footprint)\n\n", budget, st.TotalBytes)
+	fmt.Printf("%-18s %10s %12s %14s %10s\n", "policy", "files", "BB bytes", "makespan [s]", "speedup")
+	var baseline float64
+	for _, pol := range policies {
+		res, err := sim.Run(wf, core.RunOptions{Placement: pol, PrePlaceInputs: true})
+		if err != nil {
+			log.Fatalf("%s: %v", pol.Name(), err)
+		}
+		if baseline == 0 {
+			baseline = res.Makespan
+		}
+		fmt.Printf("%-18s %10d %12v %14.2f %10.2f\n",
+			pol.Name(), pol.Count(), pol.BBBytes(wf), res.Makespan, baseline/res.Makespan)
+	}
+}

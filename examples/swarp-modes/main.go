@@ -1,0 +1,78 @@
+// swarp-modes compares the three burst-buffer configurations the paper
+// characterizes — Cori private, Cori striped, and Summit on-node — on the
+// SWarp workflow, using the synthetic testbed (the reproduction's stand-in
+// for the real machines) and the calibrated lightweight simulator side by
+// side.
+//
+//	go run ./examples/swarp-modes
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bbwfsim/internal/calib"
+	"bbwfsim/internal/core"
+	"bbwfsim/internal/platform"
+	"bbwfsim/internal/swarp"
+	"bbwfsim/internal/testbed"
+)
+
+func main() {
+	const pipelines, cores, reps = 4, 32, 5
+	groundTruth := swarp.MustNew(swarp.Params{
+		Pipelines:    pipelines,
+		CoresPerTask: cores,
+		ResampleWork: testbed.TrueResampleWork,
+		CombineWork:  testbed.TrueCombineWork,
+	})
+	scenario := testbed.Scenario{StagedFraction: 1, IntermediatesToBB: true}
+
+	fmt.Printf("SWarp, %d pipelines, %d cores/task, all data in the burst buffer\n\n", pipelines, cores)
+	fmt.Printf("%-14s %14s %14s %12s %12s\n", "configuration", "testbed [s]", "simulated [s]", "resample [s]", "combine [s]")
+	for _, name := range []string{"cori-private", "cori-striped", "summit"} {
+		prof := testbed.Profiles(1)[name]
+		runner := testbed.NewRunner(prof, 1)
+
+		// "Measure" the machine.
+		measured, err := runner.Run(groundTruth, scenario, reps)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Calibrate the lightweight simulator from a one-pipeline anchor
+		// using the paper's Eq. 4 with the published λ_io values.
+		anchorWF := swarp.MustNew(swarp.Params{
+			Pipelines: 1, CoresPerTask: cores,
+			ResampleWork: testbed.TrueResampleWork, CombineWork: testbed.TrueCombineWork,
+		})
+		anchor, err := runner.Run(anchorWF, scenario, reps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cal, err := core.CalibrateWorks([]calib.Observation{
+			{TaskName: "resample", Cores: cores, Time: anchor.TaskMean("resample"), LambdaIO: calib.LambdaIOResample},
+			{TaskName: "combine", Cores: cores, Time: anchor.TaskMean("combine"), LambdaIO: calib.LambdaIOCombine},
+		}, prof.Platform.CoreSpeed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rw, _ := cal.Work("resample")
+		cw, _ := cal.Work("combine")
+		simWF := swarp.MustNew(swarp.Params{
+			Pipelines: pipelines, CoresPerTask: cores,
+			ResampleWork: rw, CombineWork: cw,
+		})
+		sim := core.MustNewSimulator(platform.Presets(1)[name])
+		simRes, err := sim.Run(simWF, core.RunOptions{StagedFraction: 1, IntermediatesToBB: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%-14s %14.2f %14.2f %12.2f %12.2f\n",
+			name, measured.MeanMakespan(), simRes.Makespan,
+			measured.TaskMean("resample"), measured.TaskMean("combine"))
+	}
+	fmt.Println("\nExpected: striped is 1-2 orders of magnitude slower than private on this")
+	fmt.Println("1:N small-file pattern; the on-node BB is fastest and most stable.")
+}

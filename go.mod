@@ -1,0 +1,3 @@
+module bbwfsim
+
+go 1.22

@@ -1,0 +1,125 @@
+// Package checkpoint injects the workload burst buffers were originally
+// built for — periodic checkpoint traffic from HPC codes (paper Section
+// II: "the BB concept was first developed to improve checkpointing
+// performance") — so the simulator can study how checkpoint I/O from
+// co-located jobs interferes with workflow executions.
+//
+// An Injector writes one checkpoint of the configured size per compute
+// node every Interval seconds, to the burst buffer or the PFS. Each node
+// keeps a single checkpoint: when a new one completes, the previous one is
+// evicted, matching the rotating behavior of real checkpoint libraries.
+// The injector implements exec.Background and stops with the workflow.
+package checkpoint
+
+import (
+	"fmt"
+
+	"bbwfsim/internal/exec"
+	"bbwfsim/internal/platform"
+	"bbwfsim/internal/storage"
+	"bbwfsim/internal/units"
+	"bbwfsim/internal/workflow"
+)
+
+// Params configures an injector.
+type Params struct {
+	// Interval is the time between checkpoint waves, in seconds (> 0).
+	Interval float64
+	// Size is each node's per-wave checkpoint volume (> 0).
+	Size units.Bytes
+	// ToBB targets the burst buffer; otherwise the PFS.
+	ToBB bool
+	// FirstWave delays the initial wave (defaults to Interval).
+	FirstWave float64
+}
+
+// Injector is a periodic checkpoint-traffic generator.
+type Injector struct {
+	params Params
+
+	// Waves counts completed per-node checkpoints; BytesWritten totals
+	// their volume.
+	Waves        int
+	BytesWritten units.Bytes
+
+	sys  *storage.System
+	wf   *workflow.Workflow // holds the synthetic checkpoint files
+	prev map[*platform.Node]*workflow.File
+	seq  int
+}
+
+var _ exec.Background = (*Injector)(nil)
+
+// New validates the parameters and returns an injector.
+func New(p Params) (*Injector, error) {
+	if p.Interval <= 0 {
+		return nil, fmt.Errorf("checkpoint: interval must be positive, got %g", p.Interval)
+	}
+	if p.Size <= 0 {
+		return nil, fmt.Errorf("checkpoint: size must be positive, got %v", p.Size)
+	}
+	if p.FirstWave < 0 {
+		return nil, fmt.Errorf("checkpoint: negative first wave %g", p.FirstWave)
+	}
+	if p.FirstWave == 0 {
+		p.FirstWave = p.Interval
+	}
+	return &Injector{
+		params: p,
+		wf:     workflow.New("checkpoint-traffic"),
+		prev:   map[*platform.Node]*workflow.File{},
+	}, nil
+}
+
+// MustNew is New for known-good parameters.
+func MustNew(p Params) *Injector {
+	i, err := New(p)
+	if err != nil {
+		panic(err)
+	}
+	return i
+}
+
+// Start implements exec.Background: it schedules the first wave.
+func (i *Injector) Start(sys *storage.System) {
+	i.sys = sys
+	sys.Platform().Engine().After(i.params.FirstWave, i.wave)
+}
+
+// wave writes one checkpoint per node, then schedules the next wave.
+func (i *Injector) wave() {
+	for _, node := range i.sys.Platform().Nodes() {
+		node := node
+		target := i.target(node)
+		f := i.wf.MustAddFile(fmt.Sprintf("ckpt-%s-%06d", node.Name(), i.seq), i.params.Size)
+		i.seq++
+		op, err := i.sys.Manager().Write(node, f, target, func() {
+			i.Waves++
+			i.BytesWritten += i.params.Size
+			// Rotate: drop the node's previous checkpoint.
+			if old := i.prev[node]; old != nil {
+				// The old replica may live on a different service than the
+				// new one (not in practice, but stay defensive).
+				for _, svc := range i.sys.Registry().Locations(old) {
+					_ = i.sys.Manager().Evict(old, svc)
+				}
+			}
+			i.prev[node] = f
+		})
+		if err != nil {
+			// A full target skips this node's wave rather than failing the
+			// whole simulation: real checkpoint libraries degrade the same
+			// way (drop to the next level of the hierarchy).
+			continue
+		}
+		_ = op
+	}
+	i.sys.Platform().Engine().After(i.params.Interval, i.wave)
+}
+
+func (i *Injector) target(node *platform.Node) storage.Service {
+	if i.params.ToBB {
+		return i.sys.BBFor(node)
+	}
+	return i.sys.PFS()
+}

@@ -1,0 +1,142 @@
+package checkpoint
+
+import (
+	"math"
+	"testing"
+
+	"bbwfsim/internal/exec"
+	"bbwfsim/internal/platform"
+	"bbwfsim/internal/sim"
+	"bbwfsim/internal/storage"
+	"bbwfsim/internal/units"
+	"bbwfsim/internal/workflow"
+)
+
+func approx(got, want, tol float64) bool {
+	return math.Abs(got-want) <= tol*math.Max(1, math.Abs(want))
+}
+
+func testConfig() platform.Config {
+	return platform.Config{
+		Name:         "test",
+		Nodes:        1,
+		CoresPerNode: 4,
+		CoreSpeed:    1 * units.GFlopPerSec,
+		NodeLinkBW:   10 * units.GBps,
+		PFS:          platform.StorageConfig{NetworkBW: 1 * units.GBps, DiskBW: 100 * units.MBps},
+		BB:           platform.StorageConfig{NetworkBW: 800 * units.MBps, DiskBW: 950 * units.MBps},
+		BBKind:       platform.BBShared,
+		BBMode:       platform.BBPrivate,
+	}
+}
+
+func TestValidation(t *testing.T) {
+	for _, p := range []Params{
+		{Interval: 0, Size: 1},
+		{Interval: -1, Size: 1},
+		{Interval: 1, Size: 0},
+		{Interval: 1, Size: 1, FirstWave: -1},
+	} {
+		if _, err := New(p); err == nil {
+			t.Errorf("invalid params accepted: %+v", p)
+		}
+	}
+}
+
+func TestWavesFireAndRotate(t *testing.T) {
+	e := sim.NewEngine()
+	p := platform.MustNew(e, testConfig())
+	sys := storage.NewSystem(p, nil)
+	inj := MustNew(Params{Interval: 1, Size: 80 * units.MB, ToBB: true})
+	inj.Start(sys)
+	e.RunUntil(10.5)
+	// Waves at t=1..10, each 80MB at 800MB/s = 0.1s: 10 complete.
+	if inj.Waves != 10 {
+		t.Errorf("Waves = %d, want 10", inj.Waves)
+	}
+	if inj.BytesWritten != 800*units.MB {
+		t.Errorf("BytesWritten = %v, want 800 MB", inj.BytesWritten)
+	}
+	// Rotation: only the latest checkpoint resident.
+	bb := sys.SharedBB()
+	if bb.Used() != 80*units.MB {
+		t.Errorf("BB used = %v, want 80 MB (one rotating checkpoint)", bb.Used())
+	}
+}
+
+func TestCheckpointInterferenceSlowsWorkflow(t *testing.T) {
+	// A workflow task writing 800 MB to the BB, alone vs with aggressive
+	// checkpoint traffic sharing the BB.
+	build := func(bg []exec.Background) float64 {
+		e := sim.NewEngine()
+		p := platform.MustNew(e, testConfig())
+		sys := storage.NewSystem(p, nil)
+		wf := workflow.New("wf")
+		wf.MustAddFile("out", 800*units.MB)
+		wf.MustAddTask(workflow.TaskSpec{ID: "t", Work: 0, Outputs: []string{"out"}})
+		pol := bbPolicy{}
+		tr, err := exec.Run(sys, wf, exec.Config{Placement: pol, Background: bg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr.Makespan()
+	}
+	alone := build(nil)
+	inj := MustNew(Params{Interval: 0.2, Size: 400 * units.MB, ToBB: true, FirstWave: 0.01})
+	loaded := build([]exec.Background{inj})
+	if !approx(alone, 1.0, 1e-9) {
+		t.Fatalf("alone makespan = %v, want 1.0", alone)
+	}
+	if loaded <= alone*1.2 {
+		t.Errorf("checkpoint traffic should slow the workflow: %v vs %v", loaded, alone)
+	}
+	if inj.Waves == 0 {
+		t.Error("injector never completed a wave")
+	}
+}
+
+func TestEngineStopsAtWorkflowEnd(t *testing.T) {
+	// The periodic injector must not keep the clock running after the
+	// last task finishes.
+	e := sim.NewEngine()
+	p := platform.MustNew(e, testConfig())
+	sys := storage.NewSystem(p, nil)
+	wf := workflow.New("wf")
+	wf.MustAddTask(workflow.TaskSpec{ID: "t", Work: 2e9}) // 2 s
+	inj := MustNew(Params{Interval: 0.5, Size: 10 * units.MB, ToBB: false})
+	tr, err := exec.Run(sys, wf, exec.Config{Background: []exec.Background{inj}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(tr.Makespan(), 2.0, 1e-9) {
+		t.Errorf("makespan = %v, want 2.0", tr.Makespan())
+	}
+	if e.Now() > 2.0+1e-9 {
+		t.Errorf("engine ran to %v after workflow end", e.Now())
+	}
+}
+
+func TestFullTargetDegradesGracefully(t *testing.T) {
+	cfg := testConfig()
+	cfg.BB.Capacity = 50 * units.MB
+	e := sim.NewEngine()
+	p := platform.MustNew(e, cfg)
+	sys := storage.NewSystem(p, nil)
+	inj := MustNew(Params{Interval: 1, Size: 80 * units.MB, ToBB: true})
+	inj.Start(sys)
+	e.RunUntil(5)
+	if inj.Waves != 0 {
+		t.Errorf("Waves = %d on a too-small BB, want 0 (skipped, not crashed)", inj.Waves)
+	}
+}
+
+// bbPolicy sends every output to the burst buffer.
+type bbPolicy struct{}
+
+func (bbPolicy) StageTarget(*workflow.File, *storage.System, *platform.Node) storage.Service {
+	return nil
+}
+
+func (bbPolicy) OutputTarget(_ *workflow.Task, _ *workflow.File, sys *storage.System, node *platform.Node) storage.Service {
+	return sys.BBFor(node)
+}

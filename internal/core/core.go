@@ -1,0 +1,174 @@
+// Package core is the top-level API of the reproduction: the calibrated
+// lightweight simulator for workflow executions on HPC platforms with burst
+// buffers — the paper's primary contribution (Section IV).
+//
+// A Simulator wraps a platform description (Table I parameters via
+// internal/platform presets, or any custom Config) and runs workflow DAGs
+// against it under a data-placement policy, returning the trace and
+// makespan. Calibration from observed executions (the paper's Eq. 4
+// pipeline) lives in CalibrateWorks.
+//
+// Typical use:
+//
+//	sim := core.NewSimulator(platform.Cori(1, platform.BBPrivate))
+//	wf := swarp.MustNew(swarp.Params{Pipelines: 1})
+//	res, err := sim.Run(wf, core.RunOptions{StagedFraction: 1, IntermediatesToBB: true})
+//	fmt.Println(res.Makespan)
+package core
+
+import (
+	"fmt"
+
+	"bbwfsim/internal/calib"
+	"bbwfsim/internal/exec"
+	"bbwfsim/internal/placement"
+	"bbwfsim/internal/platform"
+	"bbwfsim/internal/sim"
+	"bbwfsim/internal/storage"
+	"bbwfsim/internal/trace"
+	"bbwfsim/internal/units"
+	"bbwfsim/internal/workflow"
+)
+
+// Simulator is a reusable factory for simulated executions on one platform
+// configuration. Each Run builds a fresh engine, platform, and storage
+// system, so runs are independent and deterministic.
+type Simulator struct {
+	cfg platform.Config
+}
+
+// NewSimulator validates the platform configuration and returns a
+// simulator for it.
+func NewSimulator(cfg platform.Config) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Simulator{cfg: cfg}, nil
+}
+
+// MustNewSimulator is NewSimulator for preset configurations.
+func MustNewSimulator(cfg platform.Config) *Simulator {
+	s, err := NewSimulator(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// PlatformConfig returns the simulator's platform configuration.
+func (s *Simulator) PlatformConfig() platform.Config { return s.cfg }
+
+// RunOptions tunes one simulated execution.
+type RunOptions struct {
+	// StagedFraction is the fraction of the workflow's stageable input
+	// files placed on the burst buffer (the paper's x-axis). Ignored when
+	// Placement is set.
+	StagedFraction float64
+	// IntermediatesToBB sends intermediate files to the BB rather than the
+	// PFS. Ignored when Placement is set.
+	IntermediatesToBB bool
+	// Placement overrides the fraction-based policy entirely.
+	Placement exec.Placement
+	// CoresPerTask overrides compute tasks' requested cores when positive.
+	CoresPerTask int
+	// PrePlaceInputs places true workflow inputs (files with no producer)
+	// on their targets at time zero at no cost — for workflows whose
+	// staging is outside the measured makespan (the 1000Genomes study).
+	PrePlaceInputs bool
+	// NodePolicy and OrderPolicy select the scheduler's node-selection and
+	// ready-queue ordering strategies (defaults: first-fit, FIFO).
+	NodePolicy  exec.NodePolicy
+	OrderPolicy exec.OrderPolicy
+	// EnforcePrivateVisibility applies the private DataWarp visibility
+	// rule (replicas readable only from their creating node; other
+	// readers trigger an on-demand relocation through the PFS).
+	EnforcePrivateVisibility bool
+	// EvictAfterLastRead frees burst-buffer replicas once their last
+	// consumer finishes (scratch-data lifecycle management).
+	EvictAfterLastRead bool
+	// Background loads share the platform with the workflow (e.g.
+	// checkpoint traffic, internal/checkpoint).
+	Background []exec.Background
+}
+
+// Result is the outcome of one simulated execution.
+type Result struct {
+	// Makespan is the time of the last task completion, in seconds.
+	Makespan float64
+	// Trace is the full time-stamped event trace.
+	Trace *trace.Trace
+	// Summaries aggregates task records by category.
+	Summaries []trace.Summary
+	// BB and PFS are the storage services' traffic statistics.
+	BB  storage.ServiceStats
+	PFS storage.ServiceStats
+}
+
+// MeanTaskTime returns the mean execution time of a task category, or an
+// error if the category never ran.
+func (r *Result) MeanTaskTime(name string) (float64, error) {
+	return r.Trace.MeanExecByName(name)
+}
+
+// Run simulates wf on the simulator's platform.
+func (s *Simulator) Run(wf *workflow.Workflow, opts RunOptions) (*Result, error) {
+	eng := sim.NewEngine()
+	plat, err := platform.New(eng, s.cfg)
+	if err != nil {
+		return nil, err
+	}
+	sys := storage.NewSystem(plat, nil) // identity op model: the lightweight simulator
+	pol := opts.Placement
+	if pol == nil {
+		set, err := placement.NewFraction(wf, opts.StagedFraction, opts.IntermediatesToBB)
+		if err != nil {
+			return nil, err
+		}
+		pol = set
+	}
+	tr, err := exec.Run(sys, wf, exec.Config{
+		Placement:                pol,
+		CoresPerTask:             opts.CoresPerTask,
+		PrePlaceInputs:           opts.PrePlaceInputs,
+		NodePolicy:               opts.NodePolicy,
+		OrderPolicy:              opts.OrderPolicy,
+		EnforcePrivateVisibility: opts.EnforcePrivateVisibility,
+		EvictAfterLastRead:       opts.EvictAfterLastRead,
+		Background:               opts.Background,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Makespan:  tr.Makespan(),
+		Trace:     tr,
+		Summaries: tr.Summarize(),
+		BB:        sys.BBStats(),
+		PFS:       sys.Manager().Stats(sys.PFS()),
+	}, nil
+}
+
+// SweepFractions runs wf once per staged fraction and returns the
+// makespans, in order.
+func (s *Simulator) SweepFractions(wf *workflow.Workflow, fractions []float64, opts RunOptions) ([]float64, error) {
+	out := make([]float64, 0, len(fractions))
+	for _, q := range fractions {
+		o := opts
+		o.StagedFraction = q
+		o.Placement = nil
+		res, err := s.Run(wf, o)
+		if err != nil {
+			return nil, fmt.Errorf("core: sweep at fraction %g: %w", q, err)
+		}
+		out = append(out, res.Makespan)
+	}
+	return out, nil
+}
+
+// CalibrateWorks runs the paper's calibration pipeline (Eq. 3/4): from
+// observed task executions, compute per-category sequential compute work at
+// the given core speed. The returned map plugs into the workload
+// generators' Work parameters.
+func CalibrateWorks(obs []calib.Observation, coreSpeed units.FlopRate) (calib.Calibration, error) {
+	return calib.FromObservations(obs, coreSpeed)
+}

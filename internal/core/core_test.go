@@ -1,0 +1,142 @@
+package core
+
+import (
+	"testing"
+
+	"bbwfsim/internal/calib"
+	"bbwfsim/internal/genomes"
+	"bbwfsim/internal/platform"
+	"bbwfsim/internal/swarp"
+	"bbwfsim/internal/units"
+)
+
+func TestSimulatorValidatesConfig(t *testing.T) {
+	cfg := platform.Cori(1, platform.BBPrivate)
+	cfg.Nodes = 0
+	if _, err := NewSimulator(cfg); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := NewSimulator(platform.Cori(1, platform.BBPrivate)); err != nil {
+		t.Errorf("valid preset rejected: %v", err)
+	}
+}
+
+func TestSWarpOnCoriRuns(t *testing.T) {
+	sim := MustNewSimulator(platform.Cori(1, platform.BBPrivate))
+	wf := swarp.MustNew(swarp.Params{Pipelines: 1})
+	res, err := sim.Run(wf, RunOptions{StagedFraction: 1, IntermediatesToBB: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 {
+		t.Fatal("non-positive makespan")
+	}
+	// Three task categories ran.
+	if len(res.Summaries) != 3 {
+		t.Errorf("summaries = %d, want 3", len(res.Summaries))
+	}
+	// All staged data went through the BB.
+	if res.BB.BytesWritten != 768*units.MiB+768*units.MiB+96*units.MiB {
+		t.Errorf("BB bytes written = %v", res.BB.BytesWritten)
+	}
+	if _, err := res.MeanTaskTime("resample"); err != nil {
+		t.Errorf("MeanTaskTime: %v", err)
+	}
+	if _, err := res.MeanTaskTime("nothing"); err == nil {
+		t.Error("MeanTaskTime on missing category succeeded")
+	}
+}
+
+func TestSimulatorDeterministic(t *testing.T) {
+	wf := swarp.MustNew(swarp.Params{Pipelines: 4})
+	run := func() float64 {
+		sim := MustNewSimulator(platform.Cori(1, platform.BBStriped))
+		res, err := sim.Run(wf, RunOptions{StagedFraction: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("simulator not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestBBSpeedsUpSimulatedSWarp(t *testing.T) {
+	// In the lightweight model (Table I), the BB strictly beats the PFS,
+	// so staging everything must shrink the makespan.
+	wf := swarp.MustNew(swarp.Params{Pipelines: 1})
+	sim := MustNewSimulator(platform.Cori(1, platform.BBPrivate))
+	slow, err := sim.Run(wf, RunOptions{StagedFraction: 0, IntermediatesToBB: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := sim.Run(wf, RunOptions{StagedFraction: 1, IntermediatesToBB: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Makespan >= slow.Makespan {
+		t.Errorf("all-BB (%.2fs) should beat all-PFS (%.2fs) in simulation", fast.Makespan, slow.Makespan)
+	}
+}
+
+func TestSweepFractions(t *testing.T) {
+	wf := genomes.MustNew(genomes.Params{Chromosomes: 2})
+	sim := MustNewSimulator(platform.Cori(4, platform.BBPrivate))
+	fractions := []float64{0, 0.5, 1}
+	ms, err := sim.SweepFractions(wf, fractions, RunOptions{PrePlaceInputs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 {
+		t.Fatalf("got %d makespans", len(ms))
+	}
+	// More staged input → faster, up to the plateau the paper observes on
+	// Cori past ~80% staged (bandwidth saturation: with everything on the
+	// BB, the PFS no longer contributes parallel bandwidth).
+	if !(ms[0] > ms[1] && ms[0] > ms[2]) {
+		t.Errorf("staging does not speed up the workflow: %v", ms)
+	}
+	if ms[2] > ms[1]*1.1 {
+		t.Errorf("plateau regression too large: %v", ms)
+	}
+}
+
+func TestGenomesOnSummit(t *testing.T) {
+	wf := genomes.MustNew(genomes.Params{Chromosomes: 2})
+	sim := MustNewSimulator(platform.Summit(4))
+	res, err := sim.Run(wf, RunOptions{StagedFraction: 1, PrePlaceInputs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 {
+		t.Error("non-positive makespan")
+	}
+	if len(res.Trace.Records()) != 83 {
+		t.Errorf("records = %d, want 83", len(res.Trace.Records()))
+	}
+}
+
+func TestSweepPropagatesErrors(t *testing.T) {
+	wf := swarp.MustNew(swarp.Params{Pipelines: 1})
+	sim := MustNewSimulator(platform.Cori(1, platform.BBPrivate))
+	if _, err := sim.SweepFractions(wf, []float64{0, 2}, RunOptions{}); err == nil {
+		t.Error("invalid fraction accepted")
+	}
+}
+
+func TestCalibrateWorks(t *testing.T) {
+	c, err := CalibrateWorks([]calib.Observation{
+		{TaskName: "resample", Cores: 32, Time: 12, LambdaIO: 0.203},
+	}, 36.80*units.GFlopPerSec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := c.Work("resample")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != swarp.ResampleWork {
+		t.Errorf("calibrated work %v != swarp anchor %v", w, swarp.ResampleWork)
+	}
+}

@@ -1,0 +1,574 @@
+// Package exec is the workflow management system of the simulator: it
+// schedules ready tasks onto compute nodes, drives each task through its
+// read → compute → write lifecycle against the storage system, and emits
+// the time-stamped trace whose last event is the makespan.
+//
+// Task semantics follow the paper's model: a compute task reads all its
+// inputs (concurrent streams), computes for a duration given by Amdahl's
+// law on its allocated cores, then writes all its outputs (concurrent
+// streams). A stage-in task copies its files into the burst buffer one at a
+// time ("the stage-in task is always sequential").
+package exec
+
+import (
+	"fmt"
+
+	"bbwfsim/internal/platform"
+	"bbwfsim/internal/storage"
+	"bbwfsim/internal/trace"
+	"bbwfsim/internal/workflow"
+)
+
+// Placement decides where data lands. Implementations live in
+// internal/placement; the zero Config uses PFSOnly.
+type Placement interface {
+	// StageTarget returns the burst buffer a workflow input (or stage-in
+	// file) should be staged into, or nil to leave it on the PFS.
+	StageTarget(f *workflow.File, sys *storage.System, node *platform.Node) storage.Service
+	// OutputTarget returns the service task t writes output f to, or nil
+	// for the PFS.
+	OutputTarget(t *workflow.Task, f *workflow.File, sys *storage.System, node *platform.Node) storage.Service
+}
+
+// PFSOnly places everything on the parallel file system: no burst-buffer
+// use at all. It is the baseline configuration of every experiment.
+type PFSOnly struct{}
+
+// StageTarget implements Placement.
+func (PFSOnly) StageTarget(*workflow.File, *storage.System, *platform.Node) storage.Service {
+	return nil
+}
+
+// OutputTarget implements Placement.
+func (PFSOnly) OutputTarget(*workflow.Task, *workflow.File, *storage.System, *platform.Node) storage.Service {
+	return nil
+}
+
+// ComputeModel overrides the default compute-time model (Amdahl's law on
+// the task's Work and Alpha). The synthetic testbed installs a model with
+// per-category scaling behavior and measurement noise.
+type ComputeModel interface {
+	Duration(t *workflow.Task, node *platform.Node, cores int) float64
+}
+
+// Config tunes one simulated execution.
+type Config struct {
+	// Placement decides data placement; nil means PFSOnly.
+	Placement Placement
+	// Compute overrides the compute-time model when non-nil.
+	Compute ComputeModel
+	// NodePolicy selects nodes for ready tasks (default NodeFirstFit).
+	NodePolicy NodePolicy
+	// OrderPolicy orders the ready queue (default OrderFIFO).
+	OrderPolicy OrderPolicy
+	// CoresPerTask overrides every compute task's requested core count when
+	// positive (the paper's "number of cores per task" sweeps).
+	CoresPerTask int
+	// PrePlaceInputs places workflow input files (files with no producer)
+	// on their stage targets at time zero with no cost, in addition to the
+	// PFS. This models executions whose stage-in cost is outside the
+	// measured makespan (the 1000Genomes case study). Files produced by
+	// stage-in tasks are never pre-placed.
+	PrePlaceInputs bool
+	// EnforcePrivateVisibility applies the private DataWarp rule the paper
+	// describes ("access to files in the BB are limited to the compute
+	// node that created them"): on a private-mode shared BB, a replica
+	// written by another node is invisible and the reader falls back to
+	// the PFS. Off by default, matching the paper's simulator, which does
+	// not model it.
+	EnforcePrivateVisibility bool
+	// EvictAfterLastRead frees a file's burst-buffer replicas once its
+	// last consumer finishes (scratch-data lifecycle management in the
+	// spirit of MaDaTS, which the paper surveys). Terminal outputs are
+	// never evicted. This lets aggressive placements fit burst buffers
+	// smaller than the workflow footprint.
+	EvictAfterLastRead bool
+	// Background loads run alongside the workflow (e.g. checkpoint
+	// traffic from other jobs, internal/checkpoint). They start just
+	// before execution and stop implicitly when the workflow completes
+	// (the engine halts at the last task's finish).
+	Background []Background
+}
+
+// Background is a load generator that shares the platform with the
+// workflow. Start is called once, after the storage system is primed and
+// before the first task runs; implementations schedule their own activity
+// on the platform's engine.
+type Background interface {
+	Start(sys *storage.System)
+}
+
+// Run simulates the workflow on the storage system's platform and returns
+// the trace. The storage system must be freshly built (no prior traffic).
+func Run(sys *storage.System, wf *workflow.Workflow, cfg Config) (*trace.Trace, error) {
+	if cfg.Placement == nil {
+		cfg.Placement = PFSOnly{}
+	}
+	if err := wf.Validate(); err != nil {
+		return nil, err
+	}
+	// A task demanding more memory than any node offers can never run.
+	ram := sys.Platform().Config().RAMPerNode
+	if ram > 0 {
+		for _, t := range wf.Tasks() {
+			if t.Memory() > ram {
+				return nil, fmt.Errorf("exec: task %s demands %v memory but nodes have %v",
+					t.ID(), t.Memory(), ram)
+			}
+		}
+	}
+	sched, err := newScheduler(cfg.NodePolicy, cfg.OrderPolicy, wf,
+		float64(sys.Platform().Config().CoreSpeed))
+	if err != nil {
+		return nil, err
+	}
+	e := &engine{
+		sys:       sys,
+		wf:        wf,
+		cfg:       cfg,
+		sched:     sched,
+		tr:        trace.New(wf.Name(), sys.Platform().Config().Name),
+		remaining: map[*workflow.Task]int{},
+		readers:   map[*workflow.File]int{},
+		done:      map[*workflow.Task]bool{},
+	}
+	for _, f := range wf.Files() {
+		e.readers[f] = len(f.Consumers())
+	}
+	if err := e.placeInputs(); err != nil {
+		return nil, err
+	}
+	for _, t := range wf.Tasks() {
+		e.remaining[t] = len(t.Parents())
+		if e.remaining[t] == 0 {
+			e.pushReady(t)
+		}
+	}
+	for _, bg := range cfg.Background {
+		bg.Start(sys)
+	}
+	e.schedule()
+	sys.Platform().Engine().Run()
+	if e.err != nil {
+		return nil, e.err
+	}
+	if e.finished != len(wf.Tasks()) {
+		return nil, fmt.Errorf("exec: deadlock: %d of %d tasks finished (cores exhausted or unsatisfiable request)",
+			e.finished, len(wf.Tasks()))
+	}
+	return e.tr, nil
+}
+
+type engine struct {
+	sys   *storage.System
+	wf    *workflow.Workflow
+	cfg   Config
+	sched *scheduler
+	tr    *trace.Trace
+
+	remaining  map[*workflow.Task]int
+	readers    map[*workflow.File]int // consumers not yet finished
+	ready      []*workflow.Task       // sorted by the scheduler's order
+	done       map[*workflow.Task]bool
+	finished   int
+	running    int
+	inSchedule bool
+	err        error
+}
+
+func (e *engine) now() float64 { return e.sys.Platform().Engine().Now() }
+
+func (e *engine) fail(err error) {
+	if e.err == nil {
+		e.err = err
+		e.sys.Platform().Engine().Stop()
+	}
+}
+
+// placeInputs puts every true workflow input (no producer) on the PFS, and
+// optionally pre-places it on its stage target.
+func (e *engine) placeInputs() error {
+	for _, f := range e.wf.Files() {
+		if !f.IsInput() {
+			continue
+		}
+		if err := e.sys.PlaceInitial(f, e.sys.PFS()); err != nil {
+			return err
+		}
+		if e.cfg.PrePlaceInputs {
+			// Pre-placement has no node context; policies that depend on
+			// the node (on-node BBs) receive the consumer's node if there
+			// is exactly one consumer, else node 0.
+			node := e.sys.Platform().Node(0)
+			if cs := f.Consumers(); len(cs) > 0 {
+				node = e.nodeHint(cs[0])
+			}
+			if svc := e.cfg.Placement.StageTarget(f, e.sys, node); svc != nil && svc != e.sys.PFS() {
+				if err := e.sys.PlaceInitial(f, svc); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// nodeHint guesses the node a task will run on, for pre-placement on
+// on-node burst buffers: tasks spread round-robin by index.
+func (e *engine) nodeHint(t *workflow.Task) *platform.Node {
+	nodes := e.sys.Platform().Nodes()
+	return nodes[t.Index()%len(nodes)]
+}
+
+func (e *engine) pushReady(t *workflow.Task) {
+	e.ready = e.sched.insert(e.ready, t)
+	e.tr.Record(e.now(), trace.TaskReady, t.ID(), "")
+	e.tr.Task(t.ID()).ReadyAt = e.now()
+}
+
+// cores returns the core count task t runs with on node n.
+func (e *engine) cores(t *workflow.Task, n *platform.Node) int {
+	c := t.Cores()
+	if e.cfg.CoresPerTask > 0 && t.Kind() == workflow.KindCompute {
+		c = e.cfg.CoresPerTask
+	}
+	if c > n.Cores() {
+		c = n.Cores()
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// schedule greedily starts every ready task that fits on some node,
+// first-fit in node order, tasks in index order. Tasks leave the ready list
+// before they start, and the reentrancy guard keeps synchronous task
+// completions (e.g. zero-cost stage-ins) from recursing back in; the outer
+// loop rescans until a full pass starts nothing.
+func (e *engine) schedule() {
+	if e.err != nil || e.inSchedule {
+		return
+	}
+	e.inSchedule = true
+	defer func() { e.inSchedule = false }()
+	for {
+		started := false
+		for i := 0; i < len(e.ready); i++ {
+			t := e.ready[i]
+			chosen, cores := e.sched.pick(t, e.sys.Platform().Nodes(), e.cores)
+			if chosen == nil {
+				continue
+			}
+			e.ready = append(e.ready[:i], e.ready[i+1:]...)
+			i--
+			if !chosen.AllocateResources(cores, t.Memory()) {
+				e.fail(fmt.Errorf("exec: resource accounting bug scheduling %s", t.ID()))
+				return
+			}
+			e.running++
+			started = true
+			e.startTask(t, chosen, cores)
+			if e.err != nil {
+				return
+			}
+		}
+		if !started {
+			return
+		}
+	}
+}
+
+func (e *engine) startTask(t *workflow.Task, node *platform.Node, cores int) {
+	rec := e.tr.Task(t.ID())
+	rec.Name = t.Name()
+	rec.Node = node.Name()
+	rec.Cores = cores
+	rec.StartedAt = e.now()
+	e.tr.Record(e.now(), trace.TaskStart, t.ID(), node.Name())
+	switch t.Kind() {
+	case workflow.KindStageIn:
+		e.runStageIn(t, node, cores, 0)
+	case workflow.KindStageOut:
+		e.runStageOut(t, node, cores, 0)
+	default:
+		e.runReads(t, node, cores)
+	}
+}
+
+// runStageOut drains the task's input files back to the PFS one at a
+// time, starting at index i. Files already resident on the PFS cost
+// nothing; burst-buffer-only files pay a copy through this node.
+func (e *engine) runStageOut(t *workflow.Task, node *platform.Node, cores, i int) {
+	if e.err != nil {
+		return
+	}
+	ins := t.Inputs()
+	for i < len(ins) {
+		f := ins[i]
+		if e.sys.Registry().Has(f, e.sys.PFS()) {
+			i++
+			continue
+		}
+		src, err := e.sys.Registry().BestVisible(f, node, e.cfg.EnforcePrivateVisibility)
+		if err != nil {
+			e.fail(fmt.Errorf("exec: stage-out %s: %w", t.ID(), err))
+			return
+		}
+		next := i + 1
+		e.tr.Record(e.now(), trace.StageStart, t.ID(), f.ID()+"@"+src.Name()+"->pfs")
+		_, cerr := e.sys.Manager().Copy(node, f, src, e.sys.PFS(), func() {
+			e.tr.Record(e.now(), trace.StageEnd, t.ID(), f.ID()+"@pfs")
+			e.tr.Task(t.ID()).BytesWritten += f.Size()
+			e.runStageOut(t, node, cores, next)
+		})
+		if cerr != nil {
+			e.fail(fmt.Errorf("exec: stage-out %s: %w", t.ID(), cerr))
+		}
+		return
+	}
+	rec := e.tr.Task(t.ID())
+	rec.ReadDoneAt = e.now()
+	rec.ComputeDone = e.now()
+	e.finishTask(t, node, cores)
+}
+
+// runStageIn stages the task's output files one at a time, starting at
+// index i. Files whose target is the PFS materialize instantly (they
+// already reside on long-term storage); files bound for a burst buffer pay
+// a sequential write, whose completion callback resumes the loop at the
+// next file.
+func (e *engine) runStageIn(t *workflow.Task, node *platform.Node, cores, i int) {
+	if e.err != nil {
+		return
+	}
+	outs := t.Outputs()
+	for i < len(outs) {
+		f := outs[i]
+		// The file is on long-term storage regardless of staging.
+		if !e.sys.Registry().Has(f, e.sys.PFS()) {
+			if err := e.sys.PlaceInitial(f, e.sys.PFS()); err != nil {
+				e.fail(err)
+				return
+			}
+		}
+		svc := e.cfg.Placement.StageTarget(f, e.sys, node)
+		if svc == nil || svc == e.sys.PFS() {
+			i++
+			continue
+		}
+		next := i + 1
+		e.tr.Record(e.now(), trace.StageStart, t.ID(), f.ID()+"->"+svc.Name())
+		_, err := e.sys.Manager().Write(node, f, svc, func() {
+			e.tr.Record(e.now(), trace.StageEnd, t.ID(), f.ID())
+			e.tr.Task(t.ID()).BytesWritten += f.Size()
+			e.runStageIn(t, node, cores, next)
+		})
+		if err != nil {
+			e.fail(fmt.Errorf("exec: stage-in %s: %w", t.ID(), err))
+		}
+		return
+	}
+	rec := e.tr.Task(t.ID())
+	rec.ReadDoneAt = e.now()
+	rec.ComputeDone = e.now()
+	e.finishTask(t, node, cores)
+}
+
+// runReads reads the task's inputs with at most `cores` concurrent streams
+// — one POSIX thread per core handles one file at a time, which is what
+// makes I/O time shrink with the core count (the behavior the paper's
+// Eq. 4 calibration implicitly assumes). It advances to the compute phase
+// when the last read completes.
+func (e *engine) runReads(t *workflow.Task, node *platform.Node, cores int) {
+	inputs := t.Inputs()
+	rec := e.tr.Task(t.ID())
+	if len(inputs) == 0 {
+		rec.ReadDoneAt = e.now()
+		e.runCompute(t, node, cores)
+		return
+	}
+	pending := len(inputs)
+	next := 0
+	var startOne func()
+	startOne = func() {
+		if e.err != nil || next >= len(inputs) {
+			return
+		}
+		f := inputs[next]
+		next++
+		done := func() {
+			e.tr.Record(e.now(), trace.ReadEnd, t.ID(), f.ID())
+			rec.BytesRead += f.Size()
+			pending--
+			if e.err != nil {
+				return
+			}
+			if pending == 0 {
+				rec.ReadDoneAt = e.now()
+				e.runCompute(t, node, cores)
+				return
+			}
+			startOne()
+		}
+		e.readInput(t, node, f, done)
+	}
+	for i := 0; i < cores && i < len(inputs); i++ {
+		startOne()
+		if e.err != nil {
+			return
+		}
+	}
+}
+
+// readInput reads one input file, handling the private-mode visibility
+// rule: when the only replica sits on a private shared BB created by
+// another node, the creator first relocates it to the PFS (an on-demand
+// stage-out — the data-management cost the paper attributes to shared BB
+// designs), then the consumer reads the PFS copy.
+func (e *engine) readInput(t *workflow.Task, node *platform.Node, f *workflow.File, onDone func()) {
+	svc, err := e.sys.Registry().BestVisible(f, node, e.cfg.EnforcePrivateVisibility)
+	if err == nil {
+		e.tr.Record(e.now(), trace.ReadStart, t.ID(), f.ID()+"@"+svc.Name())
+		if _, rerr := e.sys.Manager().Read(node, f, svc, onDone); rerr != nil {
+			e.fail(fmt.Errorf("exec: task %s read %s: %w", t.ID(), f.ID(), rerr))
+		}
+		return
+	}
+	// No visible replica. If an invisible private-BB replica exists,
+	// relocate it through its creator; otherwise the workflow is broken.
+	for _, loc := range e.sys.Registry().Locations(f) {
+		creator := e.sys.Registry().Creator(f, loc)
+		if loc.Kind() != storage.KindPFS && creator != nil && creator != node {
+			relocator := creator
+			e.tr.Record(e.now(), trace.StageStart, t.ID(), f.ID()+"@"+loc.Name()+"->pfs")
+			_, cerr := e.sys.Manager().Copy(relocator, f, loc, e.sys.PFS(), func() {
+				e.tr.Record(e.now(), trace.StageEnd, t.ID(), f.ID()+"@pfs")
+				if e.err != nil {
+					return
+				}
+				e.readInput(t, node, f, onDone)
+			})
+			if cerr != nil {
+				e.fail(fmt.Errorf("exec: task %s relocate %s: %w", t.ID(), f.ID(), cerr))
+			}
+			return
+		}
+	}
+	e.fail(fmt.Errorf("exec: task %s: %w", t.ID(), err))
+}
+
+func (e *engine) runCompute(t *workflow.Task, node *platform.Node, cores int) {
+	rec := e.tr.Task(t.ID())
+	e.tr.Record(e.now(), trace.ComputeStart, t.ID(), "")
+	var dur float64
+	if e.cfg.Compute != nil {
+		dur = e.cfg.Compute.Duration(t, node, cores)
+		if dur < 0 {
+			e.fail(fmt.Errorf("exec: compute model returned negative duration for %s", t.ID()))
+			return
+		}
+	} else {
+		dur = node.ComputeTime(t.Work(), cores, t.Alpha())
+	}
+	e.sys.Platform().Engine().After(dur, func() {
+		rec.ComputeDone = e.now()
+		e.tr.Record(e.now(), trace.ComputeEnd, t.ID(), "")
+		e.runWrites(t, node, cores)
+	})
+}
+
+// runWrites writes the task's outputs with at most `cores` concurrent
+// streams (see runReads) and finishes the task when the last one
+// completes.
+func (e *engine) runWrites(t *workflow.Task, node *platform.Node, cores int) {
+	outputs := t.Outputs()
+	rec := e.tr.Task(t.ID())
+	if len(outputs) == 0 {
+		e.finishTask(t, node, cores)
+		return
+	}
+	pending := len(outputs)
+	next := 0
+	var startOne func()
+	startOne = func() {
+		if e.err != nil || next >= len(outputs) {
+			return
+		}
+		f := outputs[next]
+		next++
+		svc := e.cfg.Placement.OutputTarget(t, f, e.sys, node)
+		if svc == nil {
+			svc = e.sys.PFS()
+		}
+		e.tr.Record(e.now(), trace.WriteStart, t.ID(), f.ID()+"@"+svc.Name())
+		_, err := e.sys.Manager().Write(node, f, svc, func() {
+			e.tr.Record(e.now(), trace.WriteEnd, t.ID(), f.ID())
+			rec.BytesWritten += f.Size()
+			pending--
+			if e.err != nil {
+				return
+			}
+			if pending == 0 {
+				e.finishTask(t, node, cores)
+				return
+			}
+			startOne()
+		})
+		if err != nil {
+			e.fail(fmt.Errorf("exec: task %s write %s: %w", t.ID(), f.ID(), err))
+		}
+	}
+	for i := 0; i < cores && i < len(outputs); i++ {
+		startOne()
+		if e.err != nil {
+			return
+		}
+	}
+}
+
+func (e *engine) finishTask(t *workflow.Task, node *platform.Node, cores int) {
+	rec := e.tr.Task(t.ID())
+	rec.FinishedAt = e.now()
+	e.tr.Record(e.now(), trace.TaskEnd, t.ID(), "")
+	node.ReleaseResources(cores, t.Memory())
+	e.running--
+	e.done[t] = true
+	e.finished++
+	if e.cfg.EvictAfterLastRead {
+		for _, f := range t.Inputs() {
+			e.readers[f]--
+			if e.readers[f] == 0 {
+				e.evictScratch(f)
+			}
+		}
+	}
+	for _, c := range t.Children() {
+		e.remaining[c]--
+		if e.remaining[c] == 0 {
+			e.pushReady(c)
+		}
+	}
+	if e.finished == len(e.wf.Tasks()) {
+		// The makespan is fixed now; stop the engine so background load
+		// (checkpoint traffic, monitors) cannot keep the clock running.
+		e.sys.Platform().Engine().Stop()
+		return
+	}
+	e.schedule()
+}
+
+// evictScratch frees the burst-buffer replicas of a file whose last
+// consumer has finished. Terminal outputs (no consumers at all) never
+// reach here, so only scratch data is discarded.
+func (e *engine) evictScratch(f *workflow.File) {
+	for _, svc := range e.sys.Registry().Locations(f) {
+		if svc.Kind() == storage.KindPFS {
+			continue
+		}
+		if err := e.sys.Manager().Evict(f, svc); err != nil {
+			e.fail(err)
+			return
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package exec
+
+import (
+	"sort"
+
+	"bbwfsim/internal/platform"
+	"bbwfsim/internal/workflow"
+)
+
+// NodePolicy selects which node a ready task runs on.
+type NodePolicy int
+
+const (
+	// NodeFirstFit scans nodes in index order and takes the first with
+	// enough free cores (the default; deterministic and cache-friendly
+	// for single-node experiments).
+	NodeFirstFit NodePolicy = iota
+	// NodeLeastLoaded picks the fitting node with the most free cores,
+	// spreading work — and, on on-node-BB platforms, spreading burst
+	// buffer traffic.
+	NodeLeastLoaded
+	// NodeRoundRobin rotates across nodes, falling back to the next
+	// fitting node when the preferred one is full.
+	NodeRoundRobin
+)
+
+// OrderPolicy orders the ready queue.
+type OrderPolicy int
+
+const (
+	// OrderFIFO runs ready tasks in workflow insertion order (default).
+	OrderFIFO OrderPolicy = iota
+	// OrderLargestWork runs the most compute-heavy ready task first.
+	OrderLargestWork
+	// OrderCriticalPath runs tasks by descending upward rank (the task's
+	// sequential compute time plus the longest chain of descendants),
+	// the classic HEFT-style list-scheduling priority.
+	OrderCriticalPath
+)
+
+// scheduler bundles the two policies and their state.
+type scheduler struct {
+	nodePolicy  NodePolicy
+	orderPolicy OrderPolicy
+	rank        map[*workflow.Task]float64 // upward ranks for OrderCriticalPath
+	rrNext      int                        // round-robin cursor
+}
+
+// newScheduler precomputes whatever the policies need.
+func newScheduler(nodePolicy NodePolicy, orderPolicy OrderPolicy, wf *workflow.Workflow, speed float64) (*scheduler, error) {
+	s := &scheduler{nodePolicy: nodePolicy, orderPolicy: orderPolicy}
+	if orderPolicy == OrderCriticalPath {
+		order, err := wf.TopologicalOrder()
+		if err != nil {
+			return nil, err
+		}
+		s.rank = make(map[*workflow.Task]float64, len(order))
+		// Walk in reverse topological order: rank(t) = w(t) + max child.
+		for i := len(order) - 1; i >= 0; i-- {
+			t := order[i]
+			best := 0.0
+			for _, c := range t.Children() {
+				if s.rank[c] > best {
+					best = s.rank[c]
+				}
+			}
+			s.rank[t] = float64(t.Work())/speed + best
+		}
+	}
+	return s, nil
+}
+
+// less orders the ready queue; ties always break by insertion index so
+// every policy stays deterministic.
+func (s *scheduler) less(a, b *workflow.Task) bool {
+	switch s.orderPolicy {
+	case OrderLargestWork:
+		if a.Work() != b.Work() {
+			return a.Work() > b.Work()
+		}
+	case OrderCriticalPath:
+		if s.rank[a] != s.rank[b] {
+			return s.rank[a] > s.rank[b]
+		}
+	}
+	return a.Index() < b.Index()
+}
+
+// insert places t into the ready queue at its policy position.
+func (s *scheduler) insert(ready []*workflow.Task, t *workflow.Task) []*workflow.Task {
+	i := sort.Search(len(ready), func(i int) bool { return s.less(t, ready[i]) })
+	ready = append(ready, nil)
+	copy(ready[i+1:], ready[i:])
+	ready[i] = t
+	return ready
+}
+
+// pick selects a node with enough free cores and memory for t, or nil.
+func (s *scheduler) pick(t *workflow.Task, nodes []*platform.Node, need func(*workflow.Task, *platform.Node) int) (*platform.Node, int) {
+	fits := func(n *platform.Node) (int, bool) {
+		c := need(t, n)
+		return c, n.HasResources(c, t.Memory())
+	}
+	switch s.nodePolicy {
+	case NodeLeastLoaded:
+		var best *platform.Node
+		bestCores := 0
+		for _, n := range nodes {
+			if c, ok := fits(n); ok && (best == nil || n.FreeCores() > best.FreeCores()) {
+				best, bestCores = n, c
+			}
+		}
+		return best, bestCores
+	case NodeRoundRobin:
+		for i := 0; i < len(nodes); i++ {
+			n := nodes[(s.rrNext+i)%len(nodes)]
+			if c, ok := fits(n); ok {
+				s.rrNext = (s.rrNext + i + 1) % len(nodes)
+				return n, c
+			}
+		}
+		return nil, 0
+	default: // NodeFirstFit
+		for _, n := range nodes {
+			if c, ok := fits(n); ok {
+				return n, c
+			}
+		}
+		return nil, 0
+	}
+}

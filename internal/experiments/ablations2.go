@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bbwfsim/internal/core"
+	"bbwfsim/internal/exec"
+	"bbwfsim/internal/genomes"
+	"bbwfsim/internal/stats"
+)
+
+// RunAblationScheduler compares the workflow management system's
+// scheduling policies on the 1000Genomes instance: node selection
+// (first-fit / least-loaded / round-robin) crossed with ready-queue
+// ordering (FIFO / largest-work / critical-path).
+func RunAblationScheduler(opts Options) ([]*Table, error) {
+	o := opts.withDefaults()
+	chrom := 8
+	if o.Quick {
+		chrom = 2
+	}
+	wf := genomes.MustNew(genomes.Params{Chromosomes: chrom})
+	// Summit: node selection interacts with data locality, because every
+	// node has its own burst buffer and pre-placed inputs live on specific
+	// nodes' devices.
+	sim := core.MustNewSimulator(simPreset("summit", 2))
+	t := &Table{
+		ID: "ablation-scheduler",
+		Title: fmt.Sprintf("Scheduler policies, 1000Genomes (%d chrom) on 2 Summit nodes, all data in BB",
+			chrom),
+		Header: []string{"node policy", "order policy", "makespan [s]", "vs baseline"},
+	}
+	nodePolicies := []struct {
+		name string
+		p    exec.NodePolicy
+	}{
+		{"first-fit", exec.NodeFirstFit},
+		{"least-loaded", exec.NodeLeastLoaded},
+		{"round-robin", exec.NodeRoundRobin},
+	}
+	orderPolicies := []struct {
+		name string
+		p    exec.OrderPolicy
+	}{
+		{"fifo", exec.OrderFIFO},
+		{"largest-work", exec.OrderLargestWork},
+		{"critical-path", exec.OrderCriticalPath},
+	}
+	var baseline float64
+	for _, np := range nodePolicies {
+		for _, op := range orderPolicies {
+			res, err := sim.Run(wf, core.RunOptions{
+				StagedFraction:    1,
+				IntermediatesToBB: true,
+				PrePlaceInputs:    true,
+				NodePolicy:        np.p,
+				OrderPolicy:       op.p,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("scheduler %s/%s: %w", np.name, op.name, err)
+			}
+			if baseline == 0 {
+				baseline = res.Makespan
+			}
+			t.Rows = append(t.Rows, []string{
+				np.name, op.name, fsec(res.Makespan),
+				fmt.Sprintf("%.3f", res.Makespan/baseline),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"extension beyond the paper: the WMS layer the paper treats as fixed.")
+	return []*Table{t}, nil
+}
+
+// RunAblationLifecycle shows what scratch-data lifecycle management buys
+// when the burst buffer is smaller than the workflow footprint: an
+// all-to-BB placement with evict-after-last-read versus static budgeted
+// placements versus no BB at all.
+func RunAblationLifecycle(opts Options) ([]*Table, error) {
+	o := opts.withDefaults()
+	chrom := 8
+	if o.Quick {
+		chrom = 2
+	}
+	wf := genomes.MustNew(genomes.Params{Chromosomes: chrom})
+	st, err := wf.ComputeStats()
+	if err != nil {
+		return nil, err
+	}
+	budget := st.TotalBytes.Times(0.35)
+	cfg := simPreset("cori-private", caseStudyNodes)
+	cfg.BB.Capacity = budget
+	sim := core.MustNewSimulator(cfg)
+
+	t := &Table{
+		ID: "ablation-lifecycle",
+		Title: fmt.Sprintf("Data lifecycle, 1000Genomes (%d chrom), BB capacity = 35%% of footprint",
+			chrom),
+		Header: []string{"% input in BB + intermediates", "static [s]", "with eviction [s]"},
+	}
+	run := func(q float64, evict bool) string {
+		res, err := sim.Run(wf, core.RunOptions{
+			StagedFraction:     q,
+			IntermediatesToBB:  true,
+			PrePlaceInputs:     true,
+			EvictAfterLastRead: evict,
+		})
+		if err != nil {
+			return "overflow"
+		}
+		return fsec(res.Makespan)
+	}
+	feasibleStatic, feasibleEvict := 0, 0
+	for _, q := range []float64{0, 0.1, 0.2, 0.3, 0.4} {
+		static := run(q, false)
+		evict := run(q, true)
+		if static != "overflow" {
+			feasibleStatic++
+		}
+		if evict != "overflow" {
+			feasibleEvict++
+		}
+		t.Rows = append(t.Rows, []string{ffrac(q), static, evict})
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"evict-after-last-read keeps %d of 5 staging levels feasible vs %d without it:",
+		feasibleEvict, feasibleStatic),
+		"freeing scratch replicas after their last consumer extends how much of the",
+		"workflow fits a burst buffer smaller than the footprint (MaDaTS-style lifecycle",
+		"management, which the paper surveys as related work).")
+	return []*Table{t}, nil
+}
+
+// RunAblationVisibility quantifies the private DataWarp visibility rule on
+// a multi-node run: with enforcement, intermediates written to the BB by
+// one node must be relocated through the PFS before another node can read
+// them.
+func RunAblationVisibility(opts Options) ([]*Table, error) {
+	o := opts.withDefaults()
+	chrom := 8
+	if o.Quick {
+		chrom = 2
+	}
+	wf := genomes.MustNew(genomes.Params{Chromosomes: chrom})
+	sim := core.MustNewSimulator(simPreset("cori-private", 4))
+	t := &Table{
+		ID: "ablation-visibility",
+		Title: fmt.Sprintf("Private-mode visibility rule, 1000Genomes (%d chrom) on 4 Cori nodes, all data in BB",
+			chrom),
+		Header: []string{"visibility rule", "node policy", "makespan [s]"},
+	}
+	var lax, strict []float64
+	for _, np := range []struct {
+		name string
+		p    exec.NodePolicy
+	}{
+		{"first-fit", exec.NodeFirstFit},
+		{"round-robin", exec.NodeRoundRobin},
+	} {
+		for _, enforce := range []bool{false, true} {
+			res, err := sim.Run(wf, core.RunOptions{
+				StagedFraction: 1, IntermediatesToBB: true, PrePlaceInputs: true,
+				NodePolicy: np.p, EnforcePrivateVisibility: enforce,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("visibility %v/%s: %w", enforce, np.name, err)
+			}
+			label := "ignored (paper's simulator)"
+			if enforce {
+				label = "enforced + PFS relocation"
+				strict = append(strict, res.Makespan)
+			} else {
+				lax = append(lax, res.Makespan)
+			}
+			t.Rows = append(t.Rows, []string{label, np.name, fsec(res.Makespan)})
+		}
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"enforcement costs %.0f%% on average — the \"difficult data management challenges\"",
+		100*(stats.Mean(strict)/stats.Mean(lax)-1)),
+		"the paper's conclusion attributes to sharing files across BB namespaces.")
+	return []*Table{t}, nil
+}

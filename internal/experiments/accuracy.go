@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bbwfsim/internal/core"
+	"bbwfsim/internal/stats"
+	"bbwfsim/internal/testbed"
+)
+
+// RunFig10 reproduces Figure 10: measured ("real", i.e. testbed) versus
+// simulated makespan of a one-pipeline SWarp (32 cores per task) as the
+// fraction of input files staged into the BB varies, for the three
+// configurations. The simulator is calibrated once per configuration from
+// the all-BB anchor observation via Eq. 4, exactly the paper's procedure.
+func RunFig10(opts Options) ([]*Table, error) {
+	o := opts.withDefaults()
+	var tables []*Table
+	for _, prof := range orderedProfiles(1) {
+		simWF, err := calibrateSwarp(prof, 1, 32, o)
+		if err != nil {
+			return nil, err
+		}
+		sim := core.MustNewSimulator(simPreset(prof.Name, 1))
+		t := &Table{
+			ID:     "fig10-" + prof.Name,
+			Title:  fmt.Sprintf("Real vs. simulated makespan [s] on %s (1 pipeline, 32 cores/task)", prof.Name),
+			Header: []string{"% in BB", "real", "simulated", "error"},
+		}
+		var realSeries, simSeries []float64
+		testWF := testbedSwarp(1, 32)
+		for _, q := range fractions(o) {
+			res, err := testbed.NewRunner(prof, o.Seed).Run(testWF,
+				testbed.Scenario{StagedFraction: q, IntermediatesToBB: true}, o.Reps)
+			if err != nil {
+				return nil, err
+			}
+			simRes, err := sim.Run(simWF, core.RunOptions{StagedFraction: q, IntermediatesToBB: true})
+			if err != nil {
+				return nil, err
+			}
+			realMean := res.MeanMakespan()
+			realSeries = append(realSeries, realMean)
+			simSeries = append(simSeries, simRes.Makespan)
+			t.Rows = append(t.Rows, []string{
+				ffrac(q),
+				fsecStd(realMean, stats.Std(res.Makespans)),
+				fsec(simRes.Makespan),
+				fpct(stats.RelErr(simRes.Makespan, realMean)),
+			})
+		}
+		avg, err := stats.MeanRelErr(simSeries, realSeries)
+		if err != nil {
+			return nil, err
+		}
+		t.Notes = append(t.Notes,
+			fmt.Sprintf("average error: %s (paper: 5.6%% private, 12.8%% striped, 6.5%% on-node)", fpct(avg)))
+		if prof.Name == "cori-private" {
+			t.Notes = append(t.Notes,
+				"paper Fig. 10(a): the only case where real and simulated trends diverge — the",
+				"real makespan grows with staging (stage-in cost dominates) while the simulated",
+				"one shrinks (BB reads dominate in the Table-I model).")
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// RunFig11 reproduces Figure 11: measured versus simulated makespan as the
+// number of concurrent single-core pipelines grows, everything in the BB.
+// Calibration uses the one-pipeline single-core anchor, matching the
+// paper's per-experiment calibration.
+func RunFig11(opts Options) ([]*Table, error) {
+	o := opts.withDefaults()
+	var tables []*Table
+	for _, prof := range orderedProfiles(1) {
+		simWF1, err := calibrateSwarp(prof, 1, 1, o)
+		if err != nil {
+			return nil, err
+		}
+		// Extract calibrated works once; regenerate per pipeline count.
+		rw := simWF1.Task("resample_000").Work()
+		cw := simWF1.Task("combine_000").Work()
+		sim := core.MustNewSimulator(simPreset(prof.Name, 1))
+		t := &Table{
+			ID:     "fig11-" + prof.Name,
+			Title:  fmt.Sprintf("Real vs. simulated makespan [s] on %s vs. #pipelines (1 core/task, all in BB)", prof.Name),
+			Header: []string{"pipelines", "real", "simulated", "error"},
+		}
+		var realSeries, simSeries []float64
+		for _, n := range pipelineCounts(o) {
+			res, err := testbed.NewRunner(prof, o.Seed).Run(testbedSwarp(n, 1),
+				testbed.Scenario{StagedFraction: 1, IntermediatesToBB: true, CoresPerTask: 1}, o.Reps)
+			if err != nil {
+				return nil, err
+			}
+			simWF := swarpWithWorks(n, 1, rw, cw)
+			simRes, err := sim.Run(simWF, core.RunOptions{StagedFraction: 1, IntermediatesToBB: true, CoresPerTask: 1})
+			if err != nil {
+				return nil, err
+			}
+			realMean := res.MeanMakespan()
+			realSeries = append(realSeries, realMean)
+			simSeries = append(simSeries, simRes.Makespan)
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprint(n),
+				fsecStd(realMean, stats.Std(res.Makespans)),
+				fsec(simRes.Makespan),
+				fpct(stats.RelErr(simRes.Makespan, realMean)),
+			})
+		}
+		avg, err := stats.MeanRelErr(simSeries, realSeries)
+		if err != nil {
+			return nil, err
+		}
+		trend := "same"
+		if !stats.SameTrend(simSeries, realSeries, 0.02) {
+			trend = "DIFFERENT"
+		}
+		t.Notes = append(t.Notes,
+			fmt.Sprintf("average error: %s, trend agreement: %s (paper: 11.8%% private, 11.6%% striped, 15.9%% on-node)",
+				fpct(avg), trend))
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

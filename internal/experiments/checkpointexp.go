@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bbwfsim/internal/checkpoint"
+	"bbwfsim/internal/core"
+	"bbwfsim/internal/exec"
+	"bbwfsim/internal/stats"
+	"bbwfsim/internal/swarp"
+	"bbwfsim/internal/units"
+)
+
+// RunAblationCheckpoint measures how periodic checkpoint traffic from
+// co-located jobs — the workload burst buffers were designed for —
+// interferes with an all-BB workflow execution, on the shared and on-node
+// architectures. Related studies (Mubarak et al., cited by the paper)
+// quantify exactly this interference class.
+func RunAblationCheckpoint(opts Options) ([]*Table, error) {
+	o := opts.withDefaults()
+	pipelines := 8
+	if o.Quick {
+		pipelines = 4
+	}
+	wf := swarp.MustNew(swarp.Params{Pipelines: pipelines, CoresPerTask: 32})
+	t := &Table{
+		ID: "ablation-checkpoint",
+		Title: fmt.Sprintf("Checkpoint-traffic interference, SWarp %d pipelines (32 cores/task, all data in BB)",
+			pipelines),
+		Header: []string{"platform", "checkpoint target", "makespan [s]", "slowdown"},
+	}
+	type cfg struct {
+		name   string
+		target string // "", "bb", "pfs"
+	}
+	cases := []cfg{
+		{"cori-private", ""}, {"cori-private", "bb"}, {"cori-private", "pfs"},
+		{"summit", ""}, {"summit", "bb"}, {"summit", "pfs"},
+	}
+	baselines := map[string]float64{}
+	var coriSlow, summitSlow float64
+	for _, c := range cases {
+		sim := core.MustNewSimulator(simPreset(c.name, 1))
+		ro := core.RunOptions{StagedFraction: 1, IntermediatesToBB: true}
+		label := "none"
+		if c.target != "" {
+			// Aggressive defensive-I/O regime: a new 2 GB checkpoint
+			// every 2 s per node, so waves overlap and the background
+			// load claims a large share of the storage bandwidth.
+			inj, err := checkpoint.New(checkpoint.Params{
+				Interval:  2,
+				Size:      2 * units.GB,
+				ToBB:      c.target == "bb",
+				FirstWave: 1,
+			})
+			if err != nil {
+				return nil, err
+			}
+			ro.Background = []exec.Background{inj}
+			label = c.target
+		}
+		res, err := sim.Run(wf, ro)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint %s/%s: %w", c.name, label, err)
+		}
+		slowdown := ""
+		if c.target == "" {
+			baselines[c.name] = res.Makespan
+		} else {
+			s := res.Makespan / baselines[c.name]
+			slowdown = fmt.Sprintf("%.2f×", s)
+			if c.target == "bb" {
+				if c.name == "cori-private" {
+					coriSlow = s
+				} else {
+					summitSlow = s
+				}
+			}
+		}
+		t.Rows = append(t.Rows, []string{c.name, label, fsec(res.Makespan), slowdown})
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"checkpoints into the *shared* BB slow the workflow %.2f× on cori vs %.2f× on", coriSlow, summitSlow),
+		"summit's on-node devices; checkpointing to the PFS leaves an all-BB workflow",
+		"almost untouched. Extension beyond the paper (its Section II motivation).")
+	_ = stats.Mean // keep stats import if notes change
+	return []*Table{t}, nil
+}

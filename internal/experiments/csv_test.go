@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"testing"
+)
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{
+		ID:     "x",
+		Header: []string{"a", "b"},
+		Rows: [][]string{
+			{"1", "two, with comma"},
+			{"3", `quote "inside"`},
+		},
+	}
+	var buf bytes.Buffer
+	if err := tb.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v", err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("got %d records, want 3", len(records))
+	}
+	if records[1][1] != "two, with comma" {
+		t.Errorf("comma cell mangled: %q", records[1][1])
+	}
+	if records[2][1] != `quote "inside"` {
+		t.Errorf("quote cell mangled: %q", records[2][1])
+	}
+}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRunQuick runs every experiment end to end in Quick
+// mode and checks the rendered tables are well-formed.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	opts := Options{Quick: true, Seed: 1}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables, err := e.Run(opts)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s: no tables", e.ID)
+			}
+			for _, tb := range tables {
+				if len(tb.Rows) == 0 {
+					t.Errorf("%s/%s: no rows", e.ID, tb.ID)
+				}
+				for _, row := range tb.Rows {
+					if len(row) != len(tb.Header) {
+						t.Errorf("%s/%s: row width %d != header width %d", e.ID, tb.ID, len(row), len(tb.Header))
+					}
+				}
+				var buf bytes.Buffer
+				if err := tb.Fprint(&buf); err != nil {
+					t.Errorf("%s/%s: Fprint: %v", e.ID, tb.ID, err)
+				}
+				if !strings.Contains(buf.String(), tb.ID) {
+					t.Errorf("%s/%s: rendered output missing table ID", e.ID, tb.ID)
+				}
+			}
+		})
+	}
+}
+
+func TestFindKnowsAllIDs(t *testing.T) {
+	for _, e := range All() {
+		if got, ok := Find(e.ID); !ok || got.ID != e.ID {
+			t.Errorf("Find(%q) failed", e.ID)
+		}
+	}
+	if _, ok := Find("fig99"); ok {
+		t.Error("Find accepted an unknown ID")
+	}
+}
+
+// parseCell pulls the leading float out of a table cell like
+// "26.15 ± 0.60".
+func parseCell(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.Fields(cell)[0], 64)
+	if err != nil {
+		t.Fatalf("cell %q: %v", cell, err)
+	}
+	return v
+}
+
+// TestFig4Shape checks the paper's headline claims for Figure 4 on the
+// quick sweep: stage-in grows with the staged fraction and summit beats
+// cori by roughly the paper's factor.
+func TestFig4Shape(t *testing.T) {
+	tables, err := RunFig4(Options{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	last := rows[len(rows)-1]
+	coriPrivate := parseCell(t, last[1])
+	summit := parseCell(t, last[3])
+	if coriPrivate <= parseCell(t, rows[0][1]) {
+		t.Error("cori-private stage-in did not grow with fraction")
+	}
+	ratio := coriPrivate / summit
+	if ratio < 2.5 || ratio > 12 {
+		t.Errorf("cori/summit stage-in ratio = %.1f, want ≈5 (paper)", ratio)
+	}
+}
+
+// TestFig10ErrorBands checks the simulator accuracy lands in the same
+// ballpark the paper reports (its numbers: 5.6%, 12.8%, 6.5%).
+func TestFig10ErrorBands(t *testing.T) {
+	tables, err := RunFig10(Options{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	limits := map[string]float64{
+		"fig10-cori-private": 0.15,
+		"fig10-cori-striped": 0.35,
+		"fig10-summit":       0.20,
+	}
+	for _, tb := range tables {
+		limit, ok := limits[tb.ID]
+		if !ok {
+			t.Fatalf("unexpected table %s", tb.ID)
+		}
+		for _, row := range tb.Rows {
+			// The per-point error column is last, as "x.y%".
+			errStr := strings.TrimSuffix(row[len(row)-1], "%")
+			v, err := strconv.ParseFloat(errStr, 64)
+			if err != nil {
+				t.Fatalf("%s: bad error cell %q", tb.ID, row[len(row)-1])
+			}
+			if v/100 > limit*2.5 {
+				t.Errorf("%s at %s: point error %.1f%% far outside band %.0f%%", tb.ID, row[0], v, 100*limit)
+			}
+		}
+	}
+}
+
+// TestFig13Shape checks the case-study claims: staging helps on both
+// platforms and summit is faster throughout.
+func TestFig13Shape(t *testing.T) {
+	tables, err := RunFig13(Options{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	cori0, coriN := parseCell(t, rows[0][1]), parseCell(t, rows[len(rows)-1][1])
+	summit0, summitN := parseCell(t, rows[0][2]), parseCell(t, rows[len(rows)-1][2])
+	if coriN >= cori0 || summitN >= summit0 {
+		t.Errorf("staging did not help: cori %v→%v summit %v→%v", cori0, coriN, summit0, summitN)
+	}
+	for _, row := range rows {
+		if parseCell(t, row[2]) >= parseCell(t, row[1])*1.05 {
+			t.Errorf("summit slower than cori at %s", row[0])
+		}
+	}
+}
+
+// TestAblationModelEq3Wins checks that Eq. 3 with the true α beats Eq. 4
+// away from the calibration anchor.
+func TestAblationModelEq3Wins(t *testing.T) {
+	tables, err := RunAblationModel(Options{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First row is the 1-core point, farthest from the 32-core anchor.
+	row := tables[0].Rows[0]
+	eq4 := parseCell(t, strings.TrimSuffix(row[3], "%"))
+	eq3 := parseCell(t, strings.TrimSuffix(row[5], "%"))
+	if eq3 >= eq4 {
+		t.Errorf("Eq.3 error (%.1f%%) should beat Eq.4 (%.1f%%) at 1 core", eq3, eq4)
+	}
+}

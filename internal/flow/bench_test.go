@@ -1,0 +1,67 @@
+package flow
+
+import (
+	"testing"
+
+	"bbwfsim/internal/sim"
+)
+
+// BenchmarkConcurrentFlows measures the progressive-filling recompute cost
+// with many flows sharing one bottleneck: each arrival and departure
+// triggers a full max-min reallocation.
+func BenchmarkConcurrentFlows(b *testing.B) {
+	for _, k := range []int{8, 64, 256} {
+		k := k
+		b.Run(byteCount(k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := sim.NewEngine()
+				n := NewNetwork(e)
+				link := n.NewResource("link", 1000)
+				disk := n.NewResource("disk", 800)
+				done := 0
+				for j := 0; j < k; j++ {
+					// Staggered sizes so completions interleave and force
+					// k reallocations.
+					n.StartFlow(float64(100+j), []*Resource{link, disk}, Options{}, func() { done++ })
+				}
+				e.Run()
+				if done != k {
+					b.Fatalf("completed %d of %d flows", done, k)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFlowChurn measures steady-state arrival/departure churn: a new
+// flow starts whenever one finishes, keeping a constant concurrency.
+func BenchmarkFlowChurn(b *testing.B) {
+	e := sim.NewEngine()
+	n := NewNetwork(e)
+	link := n.NewResource("link", 1000)
+	started := 0
+	var launch func()
+	launch = func() {
+		if started >= b.N {
+			return
+		}
+		started++
+		n.StartFlow(50, []*Resource{link}, Options{}, launch)
+	}
+	for i := 0; i < 16 && i < b.N; i++ {
+		launch()
+	}
+	b.ResetTimer()
+	e.Run()
+}
+
+func byteCount(k int) string {
+	switch k {
+	case 8:
+		return "flows=8"
+	case 64:
+		return "flows=64"
+	default:
+		return "flows=256"
+	}
+}

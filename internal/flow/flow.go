@@ -1,0 +1,410 @@
+// Package flow implements the fluid resource-sharing model used for all
+// network, disk, and (optionally) compute activity in the simulator.
+//
+// The model is the one SimGrid validated for flow-level network simulation:
+// each active transfer ("flow") traverses a path of capacity-constrained
+// resources, and the instantaneous rates of all concurrent flows are the
+// max-min fair allocation computed by progressive filling. A flow may also
+// carry a per-flow rate cap, which models POSIX single-stream throughput —
+// the reason the paper observes saturation "although usage is far below the
+// peak" of the burst buffer.
+//
+// Whenever the set of active flows changes, rates are recomputed and the
+// single next-completion event is rescheduled. Between changes every flow
+// progresses linearly, so the simulation cost is O(changes × resources ×
+// flows), independent of transfer sizes.
+package flow
+
+import (
+	"fmt"
+	"math"
+
+	"bbwfsim/internal/sim"
+)
+
+// Resource is a capacity-constrained entity (network link, disk, ...).
+// Concurrent flows crossing a resource share its capacity max-min fairly.
+type Resource struct {
+	name     string
+	capacity float64 // units per second (> 0)
+
+	processed float64 // total units pushed through, for accounting/tests
+
+	// scratch state used during recompute; owned by the Network.
+	avail float64
+	count int
+}
+
+// Name returns the resource's identifier.
+func (r *Resource) Name() string { return r.name }
+
+// Capacity returns the resource's capacity in units per second.
+func (r *Resource) Capacity() float64 { return r.capacity }
+
+// Processed returns the total number of units this resource has carried.
+func (r *Resource) Processed() float64 { return r.processed }
+
+// Flow is one in-progress transfer.
+type Flow struct {
+	net       *Network
+	path      []*Resource
+	remaining float64
+	amount    float64
+	rateCap   float64 // +Inf when uncapped
+	rate      float64
+	onDone    func()
+	started   float64 // virtual time the flow became active
+	latEv     *sim.Event
+	active    bool
+	done      bool
+	frozen    bool // scratch for progressive filling
+}
+
+// Rate returns the flow's current allocated rate in units per second.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Remaining returns the units left to transfer.
+func (f *Flow) Remaining() float64 { return f.remaining }
+
+// Done reports whether the flow has completed or been cancelled.
+func (f *Flow) Done() bool { return f.done }
+
+// Options tunes a flow started with StartFlow.
+type Options struct {
+	// RateCap bounds the flow's rate regardless of resource availability.
+	// Zero (or negative) means uncapped.
+	RateCap float64
+	// Latency delays the flow's activation by a fixed duration. During the
+	// latency the flow holds no resources.
+	Latency float64
+}
+
+// Network owns a set of resources and the active flows crossing them.
+type Network struct {
+	eng       *sim.Engine
+	resources []*Resource
+	active    []*Flow
+	settled   float64 // virtual time of the last settle
+	nextEv    *sim.Event
+}
+
+// NewNetwork returns an empty network bound to the engine.
+func NewNetwork(eng *sim.Engine) *Network {
+	if eng == nil {
+		panic("flow: nil engine")
+	}
+	return &Network{eng: eng, settled: eng.Now()}
+}
+
+// Engine returns the engine the network schedules on.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// NewResource registers a resource with the given capacity (> 0).
+func (n *Network) NewResource(name string, capacity float64) *Resource {
+	if capacity <= 0 || math.IsNaN(capacity) || math.IsInf(capacity, 0) {
+		panic(fmt.Sprintf("flow: resource %q capacity must be positive and finite, got %g", name, capacity))
+	}
+	r := &Resource{name: name, capacity: capacity}
+	n.resources = append(n.resources, r)
+	return r
+}
+
+// ActiveFlows returns the number of currently active flows.
+func (n *Network) ActiveFlows() int { return len(n.active) }
+
+// StartFlow begins transferring amount units across path. onDone runs when
+// the transfer completes. The returned flow can be cancelled. A flow with an
+// empty path and no rate cap completes after just its latency.
+func (n *Network) StartFlow(amount float64, path []*Resource, opts Options, onDone func()) *Flow {
+	if amount < 0 || math.IsNaN(amount) {
+		panic(fmt.Sprintf("flow: invalid amount %g", amount))
+	}
+	if opts.Latency < 0 || math.IsNaN(opts.Latency) {
+		panic(fmt.Sprintf("flow: invalid latency %g", opts.Latency))
+	}
+	cap := opts.RateCap
+	if cap <= 0 {
+		cap = math.Inf(1)
+	}
+	// The path is a set: a flow consumes a resource's share once no matter
+	// how often the resource appears in the route description.
+	dedup := make([]*Resource, 0, len(path))
+	for _, r := range path {
+		seen := false
+		for _, d := range dedup {
+			if d == r {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			dedup = append(dedup, r)
+		}
+	}
+	f := &Flow{
+		net:       n,
+		path:      dedup,
+		remaining: amount,
+		amount:    amount,
+		rateCap:   cap,
+		onDone:    onDone,
+	}
+	if opts.Latency > 0 {
+		f.latEv = n.eng.After(opts.Latency, func() {
+			f.latEv = nil
+			n.activate(f)
+		})
+	} else {
+		n.activate(f)
+	}
+	return f
+}
+
+func (n *Network) activate(f *Flow) {
+	f.started = n.eng.Now()
+	if f.remaining <= 0 || (len(f.path) == 0 && math.IsInf(f.rateCap, 1)) {
+		// Instantaneous: account the amount and schedule completion now so
+		// callbacks still run from the event loop, never synchronously from
+		// StartFlow (callers rely on that for ordering).
+		for _, r := range f.path {
+			r.processed += f.remaining
+		}
+		f.remaining = 0
+		n.eng.After(0, func() { n.complete(f) })
+		return
+	}
+	n.settle()
+	f.active = true
+	n.active = append(n.active, f)
+	n.recompute()
+	n.schedule()
+}
+
+// Cancel aborts an in-progress flow without running its callback.
+func (f *Flow) Cancel() {
+	if f.done {
+		return
+	}
+	n := f.net
+	if f.latEv != nil {
+		n.eng.Cancel(f.latEv)
+		f.latEv = nil
+		f.done = true
+		return
+	}
+	if !f.active {
+		// Instantaneous completion already queued; mark done so complete()
+		// skips the callback.
+		f.done = true
+		return
+	}
+	n.settle()
+	n.remove(f)
+	f.done = true
+	n.recompute()
+	n.schedule()
+}
+
+func (n *Network) remove(f *Flow) {
+	for i, g := range n.active {
+		if g == f {
+			n.active = append(n.active[:i], n.active[i+1:]...)
+			break
+		}
+	}
+	f.active = false
+	f.rate = 0
+}
+
+// settle advances every active flow to the current time at its last
+// computed rate.
+func (n *Network) settle() {
+	now := n.eng.Now()
+	dt := now - n.settled
+	n.settled = now
+	if dt <= 0 {
+		return
+	}
+	for _, f := range n.active {
+		moved := f.rate * dt
+		if moved > f.remaining {
+			moved = f.remaining
+		}
+		f.remaining -= moved
+		for _, r := range f.path {
+			r.processed += moved
+		}
+	}
+}
+
+// recompute assigns max-min fair rates to all active flows by progressive
+// filling: repeatedly find the tightest constraint (a resource's equal share
+// or a flow's cap), freeze the flows it binds, and subtract their usage.
+func (n *Network) recompute() {
+	if len(n.active) == 0 {
+		return
+	}
+	for _, r := range n.resources {
+		r.avail = r.capacity
+		r.count = 0
+	}
+	unfrozen := 0
+	for _, f := range n.active {
+		f.frozen = false
+		f.rate = 0
+		for _, r := range f.path {
+			r.count++
+		}
+		unfrozen++
+	}
+	for unfrozen > 0 {
+		// Tightest constraint this round.
+		m := math.Inf(1)
+		for _, r := range n.resources {
+			if r.count > 0 {
+				if share := r.avail / float64(r.count); share < m {
+					m = share
+				}
+			}
+		}
+		for _, f := range n.active {
+			if !f.frozen && f.rateCap < m {
+				m = f.rateCap
+			}
+		}
+		if math.IsInf(m, 1) {
+			// Remaining flows cross no resources and have no cap; they were
+			// handled as instantaneous in activate, so this cannot happen.
+			panic("flow: unconstrained flow in recompute")
+		}
+		// Freeze every flow bound by this constraint: flows whose cap equals
+		// the minimum, and flows crossing a resource whose share equals it.
+		const tol = 1 + 1e-12
+		froze := 0
+		for _, f := range n.active {
+			if f.frozen {
+				continue
+			}
+			bind := f.rateCap <= m*tol
+			if !bind {
+				for _, r := range f.path {
+					if r.avail/float64(r.count) <= m*tol {
+						bind = true
+						break
+					}
+				}
+			}
+			if bind {
+				f.frozen = true
+				f.rate = math.Min(m, f.rateCap)
+				froze++
+			}
+		}
+		if froze == 0 {
+			panic("flow: progressive filling made no progress")
+		}
+		// Subtract frozen usage; rebuild avail/count for the next round.
+		for _, r := range n.resources {
+			r.avail = r.capacity
+			r.count = 0
+		}
+		unfrozen = 0
+		for _, f := range n.active {
+			if f.frozen {
+				for _, r := range f.path {
+					r.avail -= f.rate
+				}
+			} else {
+				for _, r := range f.path {
+					r.count++
+				}
+				unfrozen++
+			}
+		}
+		for _, r := range n.resources {
+			if r.avail < 0 {
+				if r.avail < -1e-6*r.capacity {
+					panic(fmt.Sprintf("flow: resource %q over-allocated by %g", r.name, -r.avail))
+				}
+				r.avail = 0
+			}
+		}
+	}
+}
+
+// schedule (re)arms the single next-completion event.
+func (n *Network) schedule() {
+	if n.nextEv != nil {
+		n.eng.Cancel(n.nextEv)
+		n.nextEv = nil
+	}
+	if len(n.active) == 0 {
+		return
+	}
+	dt := math.Inf(1)
+	for _, f := range n.active {
+		if f.rate > 0 {
+			if t := f.remaining / f.rate; t < dt {
+				dt = t
+			}
+		}
+	}
+	if math.IsInf(dt, 1) {
+		panic("flow: active flows but no positive rate")
+	}
+	if dt < 0 {
+		dt = 0
+	}
+	n.nextEv = n.eng.After(dt, n.onCompletion)
+}
+
+func (n *Network) onCompletion() {
+	n.nextEv = nil
+	n.settle()
+	// Collect finished flows first: completion callbacks may start new flows
+	// and we want a single consistent recompute before any callback runs.
+	var finished []*Flow
+	for _, f := range n.active {
+		if f.remaining <= completionTolerance(f.amount) {
+			finished = append(finished, f)
+		}
+	}
+	for _, f := range finished {
+		n.remove(f)
+	}
+	n.recompute()
+	n.schedule()
+	for _, f := range finished {
+		n.complete(f)
+	}
+}
+
+func (n *Network) complete(f *Flow) {
+	if f.done {
+		return
+	}
+	f.done = true
+	f.remaining = 0
+	if f.onDone != nil {
+		f.onDone()
+	}
+}
+
+func completionTolerance(amount float64) float64 {
+	return 1e-9*amount + 1e-9
+}
+
+// Utilization returns the fraction of capacity currently allocated on r
+// across all active flows. Intended for tests and instrumentation.
+func (n *Network) Utilization(r *Resource) float64 {
+	used := 0.0
+	for _, f := range n.active {
+		for _, p := range f.path {
+			if p == r {
+				used += f.rate
+				break
+			}
+		}
+	}
+	return used / r.capacity
+}

@@ -1,0 +1,243 @@
+// Package optimize searches the data-placement space using the simulator
+// as an evaluation oracle — the research program the paper's conclusion
+// lays out: "a natural future direction is to leverage our simulator to
+// explore the heuristic-space of data placements strategies to optimize
+// workflows executions, and to quantify the resulting benefits."
+//
+// Two searchers are provided. LocalSearch starts from a heuristic seed and
+// hill-climbs by toggling files in and out of the burst buffer under a
+// capacity budget. GreedyMarginal grows the placement one file at a time,
+// always adding the file whose simulated marginal gain is largest. Both
+// are deterministic in their seed and count every oracle call, since each
+// call is a full simulation.
+package optimize
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"bbwfsim/internal/placement"
+	"bbwfsim/internal/units"
+	"bbwfsim/internal/workflow"
+)
+
+// Oracle evaluates a candidate placement and returns the simulated
+// makespan. Implementations typically wrap core.Simulator.Run; an error
+// (e.g. capacity overflow) marks the candidate infeasible.
+type Oracle func(pol *placement.Set) (float64, error)
+
+// Params tunes a search.
+type Params struct {
+	// Budget caps the total bytes placed on the burst buffer (> 0).
+	Budget units.Bytes
+	// Iterations bounds the number of oracle evaluations (> 0).
+	Iterations int
+	// Seed drives the (deterministic) random moves of LocalSearch.
+	Seed int64
+	// CandidateSample bounds how many candidates GreedyMarginal evaluates
+	// per round (0 = all).
+	CandidateSample int
+}
+
+func (p *Params) validate() error {
+	if p.Budget <= 0 {
+		return fmt.Errorf("optimize: budget must be positive, got %v", p.Budget)
+	}
+	if p.Iterations <= 0 {
+		return fmt.Errorf("optimize: iterations must be positive, got %d", p.Iterations)
+	}
+	if p.CandidateSample < 0 {
+		return fmt.Errorf("optimize: negative candidate sample %d", p.CandidateSample)
+	}
+	return nil
+}
+
+// Result reports a finished search.
+type Result struct {
+	// Best is the best placement found and BestMakespan its simulated
+	// makespan.
+	Best         *placement.Set
+	BestMakespan float64
+	// Evaluations counts oracle calls (simulations).
+	Evaluations int
+	// History records the best-so-far makespan after every evaluation.
+	History []float64
+}
+
+// candidates are the files worth placing: everything read or written
+// during execution, in insertion order.
+func candidates(wf *workflow.Workflow) []*workflow.File {
+	var files []*workflow.File
+	for _, f := range wf.Files() {
+		if len(f.Consumers()) > 0 || f.Producer() != nil {
+			files = append(files, f)
+		}
+	}
+	return files
+}
+
+func setBytes(wf *workflow.Workflow, ids map[string]bool) units.Bytes {
+	var total units.Bytes
+	for id := range ids {
+		if f := wf.File(id); f != nil {
+			total += f.Size()
+		}
+	}
+	return total
+}
+
+func toSet(name string, ids map[string]bool) *placement.Set {
+	list := make([]string, 0, len(ids))
+	for id := range ids {
+		list = append(list, id)
+	}
+	sort.Strings(list)
+	return placement.NewExplicit(name, list)
+}
+
+// LocalSearch hill-climbs from a fanout-greedy seed: each step toggles one
+// candidate file (adding it if the budget allows, possibly after removing
+// a random resident file), keeps improvements, and reverts regressions.
+func LocalSearch(wf *workflow.Workflow, oracle Oracle, p Params) (*Result, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	cands := candidates(wf)
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("optimize: workflow has no placeable files")
+	}
+
+	// Seed from the best static heuristic.
+	seed := placement.NewFanoutGreedy(wf, p.Budget)
+	current := map[string]bool{}
+	for _, f := range cands {
+		if seed.Contains(f.ID()) {
+			current[f.ID()] = true
+		}
+	}
+	res := &Result{}
+	eval := func(ids map[string]bool, label string) (float64, bool) {
+		ms, err := oracle(toSet(label, ids))
+		res.Evaluations++
+		if err != nil {
+			res.History = append(res.History, res.BestMakespan)
+			return 0, false
+		}
+		if res.Best == nil || ms < res.BestMakespan {
+			res.Best = toSet("local-search", ids)
+			res.BestMakespan = ms
+		}
+		res.History = append(res.History, res.BestMakespan)
+		return ms, true
+	}
+
+	currentMs, ok := eval(current, "seed")
+	if !ok {
+		return nil, fmt.Errorf("optimize: seed placement infeasible")
+	}
+	for res.Evaluations < p.Iterations {
+		next := map[string]bool{}
+		for id := range current {
+			next[id] = true
+		}
+		f := cands[rng.Intn(len(cands))]
+		if next[f.ID()] {
+			delete(next, f.ID())
+		} else {
+			next[f.ID()] = true
+			// Evict random residents until the budget fits.
+			for setBytes(wf, next) > p.Budget && len(next) > 1 {
+				keys := make([]string, 0, len(next))
+				for id := range next {
+					keys = append(keys, id)
+				}
+				sort.Strings(keys)
+				victim := keys[rng.Intn(len(keys))]
+				if victim == f.ID() {
+					continue
+				}
+				delete(next, victim)
+			}
+			if setBytes(wf, next) > p.Budget {
+				continue // single file larger than budget
+			}
+		}
+		ms, ok := eval(next, "move")
+		if ok && ms <= currentMs {
+			current, currentMs = next, ms
+		}
+	}
+	return res, nil
+}
+
+// GreedyMarginal grows the placement file by file: each round it simulates
+// adding every (or a sampled subset of) not-yet-placed candidate and keeps
+// the one with the largest makespan reduction, stopping when the budget is
+// exhausted, no candidate helps, or the evaluation budget runs out.
+func GreedyMarginal(wf *workflow.Workflow, oracle Oracle, p Params) (*Result, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	cands := candidates(wf)
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("optimize: workflow has no placeable files")
+	}
+	res := &Result{}
+	current := map[string]bool{}
+	eval := func(ids map[string]bool) (float64, bool) {
+		ms, err := oracle(toSet("greedy-marginal", ids))
+		res.Evaluations++
+		if err == nil && (res.Best == nil || ms < res.BestMakespan) {
+			res.Best = toSet("greedy-marginal", ids)
+			res.BestMakespan = ms
+		}
+		res.History = append(res.History, res.BestMakespan)
+		return ms, err == nil
+	}
+	currentMs, ok := eval(current)
+	if !ok {
+		return nil, fmt.Errorf("optimize: empty placement infeasible")
+	}
+	for res.Evaluations < p.Iterations {
+		// Collect affordable, unplaced candidates.
+		var open []*workflow.File
+		used := setBytes(wf, current)
+		for _, f := range cands {
+			if !current[f.ID()] && used+f.Size() <= p.Budget {
+				open = append(open, f)
+			}
+		}
+		if len(open) == 0 {
+			break
+		}
+		if p.CandidateSample > 0 && len(open) > p.CandidateSample {
+			rng.Shuffle(len(open), func(i, j int) { open[i], open[j] = open[j], open[i] })
+			open = open[:p.CandidateSample]
+			sort.Slice(open, func(i, j int) bool { return open[i].ID() < open[j].ID() })
+		}
+		bestID := ""
+		bestMs := currentMs
+		for _, f := range open {
+			if res.Evaluations >= p.Iterations {
+				break
+			}
+			trial := map[string]bool{f.ID(): true}
+			for id := range current {
+				trial[id] = true
+			}
+			ms, ok := eval(trial)
+			if ok && ms < bestMs {
+				bestMs, bestID = ms, f.ID()
+			}
+		}
+		if bestID == "" {
+			break // no improving candidate this round
+		}
+		current[bestID] = true
+		currentMs = bestMs
+	}
+	return res, nil
+}

@@ -1,0 +1,158 @@
+package optimize
+
+import (
+	"fmt"
+	"testing"
+
+	"bbwfsim/internal/core"
+	"bbwfsim/internal/genomes"
+	"bbwfsim/internal/placement"
+	"bbwfsim/internal/platform"
+	"bbwfsim/internal/units"
+	"bbwfsim/internal/workflow"
+)
+
+// oracleFor builds a simulation oracle over a capacity-constrained Cori.
+func oracleFor(t *testing.T, wf *workflow.Workflow, budget units.Bytes) Oracle {
+	t.Helper()
+	cfg := platform.Cori(4, platform.BBPrivate)
+	cfg.BB.Capacity = budget
+	sim := core.MustNewSimulator(cfg)
+	return func(pol *placement.Set) (float64, error) {
+		res, err := sim.Run(wf, core.RunOptions{Placement: pol, PrePlaceInputs: true})
+		if err != nil {
+			return 0, err
+		}
+		return res.Makespan, nil
+	}
+}
+
+func testWorkflow() *workflow.Workflow {
+	return genomes.MustNew(genomes.Params{Chromosomes: 2})
+}
+
+func budgetFor(t *testing.T, wf *workflow.Workflow) units.Bytes {
+	t.Helper()
+	st, err := wf.ComputeStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.TotalBytes.Times(0.3)
+}
+
+func TestParamsValidation(t *testing.T) {
+	wf := testWorkflow()
+	oracle := oracleFor(t, wf, 1*units.GiB)
+	bad := []Params{
+		{Budget: 0, Iterations: 1},
+		{Budget: 1, Iterations: 0},
+		{Budget: 1, Iterations: 1, CandidateSample: -1},
+	}
+	for i, p := range bad {
+		if _, err := LocalSearch(wf, oracle, p); err == nil {
+			t.Errorf("LocalSearch case %d: invalid params accepted", i)
+		}
+		if _, err := GreedyMarginal(wf, oracle, p); err == nil {
+			t.Errorf("GreedyMarginal case %d: invalid params accepted", i)
+		}
+	}
+}
+
+func TestLocalSearchImprovesOrMatchesSeed(t *testing.T) {
+	wf := testWorkflow()
+	budget := budgetFor(t, wf)
+	oracle := oracleFor(t, wf, budget)
+	seedMs, err := oracle(placement.NewFanoutGreedy(wf, budget))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := LocalSearch(wf, oracle, Params{Budget: budget, Iterations: 40, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestMakespan > seedMs+1e-9 {
+		t.Errorf("local search (%.2f) worse than its own seed (%.2f)", res.BestMakespan, seedMs)
+	}
+	if res.Evaluations == 0 || res.Evaluations > 40 {
+		t.Errorf("evaluations = %d, want (0, 40]", res.Evaluations)
+	}
+	if res.Best.BBBytes(wf) > budget {
+		t.Errorf("best placement exceeds budget: %v > %v", res.Best.BBBytes(wf), budget)
+	}
+	// History is non-increasing (best-so-far).
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i] > res.History[i-1]+1e-9 {
+			t.Fatalf("history not monotone at %d: %v", i, res.History[i-1:i+1])
+		}
+	}
+}
+
+func TestGreedyMarginalBeatsEmpty(t *testing.T) {
+	wf := testWorkflow()
+	budget := budgetFor(t, wf)
+	oracle := oracleFor(t, wf, budget)
+	empty, err := oracle(placement.AllPFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := GreedyMarginal(wf, oracle, Params{
+		Budget: budget, Iterations: 60, Seed: 3, CandidateSample: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestMakespan >= empty {
+		t.Errorf("greedy (%.2f) no better than all-PFS (%.2f)", res.BestMakespan, empty)
+	}
+	if res.Best.BBBytes(wf) > budget {
+		t.Errorf("placement exceeds budget")
+	}
+}
+
+func TestSearchesDeterministic(t *testing.T) {
+	wf := testWorkflow()
+	budget := budgetFor(t, wf)
+	run := func() (float64, float64) {
+		oracle := oracleFor(t, wf, budget)
+		ls, err := LocalSearch(wf, oracle, Params{Budget: budget, Iterations: 20, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gm, err := GreedyMarginal(wf, oracleFor(t, wf, budget), Params{
+			Budget: budget, Iterations: 20, Seed: 5, CandidateSample: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ls.BestMakespan, gm.BestMakespan
+	}
+	a1, b1 := run()
+	a2, b2 := run()
+	if a1 != a2 || b1 != b2 {
+		t.Errorf("searches not deterministic: %v/%v vs %v/%v", a1, b1, a2, b2)
+	}
+}
+
+func TestOracleErrorsAreInfeasible(t *testing.T) {
+	wf := testWorkflow()
+	budget := budgetFor(t, wf)
+	calls := 0
+	failing := func(pol *placement.Set) (float64, error) {
+		calls++
+		if pol.Count() > 0 {
+			return 0, fmt.Errorf("boom")
+		}
+		return 100, nil
+	}
+	// Greedy survives: the empty placement works, every addition fails.
+	res, err := GreedyMarginal(wf, failing, Params{Budget: budget, Iterations: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestMakespan != 100 || res.Best.Count() != 0 {
+		t.Errorf("greedy should settle on the empty placement: %+v", res)
+	}
+	if calls == 0 {
+		t.Error("oracle never called")
+	}
+}

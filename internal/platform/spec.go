@@ -1,0 +1,158 @@
+package platform
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+
+	"bbwfsim/internal/units"
+)
+
+// spec is the on-disk JSON form of a Config. Quantities are strings with
+// units ("800MB/s", "36.8 GFlop/s", "128 GiB") so platform files stay
+// readable; see ParseConfig.
+type spec struct {
+	Name         string      `json:"name"`
+	Nodes        int         `json:"nodes"`
+	CoresPerNode int         `json:"coresPerNode"`
+	CoreSpeed    string      `json:"coreSpeed"`
+	RAMPerNode   string      `json:"ramPerNode,omitempty"`
+	NodeLinkBW   string      `json:"nodeLinkBW"`
+	PFS          storageSpec `json:"pfs"`
+	BB           storageSpec `json:"bb"`
+	BBKind       string      `json:"bbKind"`
+	BBMode       string      `json:"bbMode,omitempty"`
+}
+
+type storageSpec struct {
+	NetworkBW    string  `json:"networkBW,omitempty"`
+	DiskBW       string  `json:"diskBW"`
+	Capacity     string  `json:"capacity,omitempty"`
+	StreamCap    string  `json:"streamCap,omitempty"`
+	ReadLatency  float64 `json:"readLatency,omitempty"`
+	WriteLatency float64 `json:"writeLatency,omitempty"`
+}
+
+func (s *storageSpec) toConfig(name string) (StorageConfig, error) {
+	var cfg StorageConfig
+	var err error
+	if s.NetworkBW != "" {
+		if cfg.NetworkBW, err = units.ParseBandwidth(s.NetworkBW); err != nil {
+			return cfg, fmt.Errorf("%s networkBW: %v", name, err)
+		}
+	}
+	if cfg.DiskBW, err = units.ParseBandwidth(s.DiskBW); err != nil {
+		return cfg, fmt.Errorf("%s diskBW: %v", name, err)
+	}
+	if s.Capacity != "" {
+		if cfg.Capacity, err = units.ParseBytes(s.Capacity); err != nil {
+			return cfg, fmt.Errorf("%s capacity: %v", name, err)
+		}
+	}
+	if s.StreamCap != "" {
+		if cfg.StreamCap, err = units.ParseBandwidth(s.StreamCap); err != nil {
+			return cfg, fmt.Errorf("%s streamCap: %v", name, err)
+		}
+	}
+	cfg.ReadLatency = s.ReadLatency
+	cfg.WriteLatency = s.WriteLatency
+	return cfg, nil
+}
+
+func storageToSpec(c StorageConfig) storageSpec {
+	s := storageSpec{
+		DiskBW:       c.DiskBW.String(),
+		ReadLatency:  c.ReadLatency,
+		WriteLatency: c.WriteLatency,
+	}
+	if c.NetworkBW > 0 {
+		s.NetworkBW = c.NetworkBW.String()
+	}
+	if c.Capacity > 0 {
+		// Bare byte counts round-trip exactly; pretty strings like
+		// "5.82 TiB" would lose precision.
+		s.Capacity = strconv.FormatFloat(float64(c.Capacity), 'g', -1, 64)
+	}
+	if c.StreamCap > 0 {
+		s.StreamCap = c.StreamCap.String()
+	}
+	return s
+}
+
+// ParseConfig decodes a JSON platform description.
+func ParseConfig(data []byte) (Config, error) {
+	var s spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Config{}, fmt.Errorf("platform: decode spec: %v", err)
+	}
+	cfg := Config{
+		Name:         s.Name,
+		Nodes:        s.Nodes,
+		CoresPerNode: s.CoresPerNode,
+		BBKind:       BBKind(s.BBKind),
+		BBMode:       BBMode(s.BBMode),
+	}
+	var err error
+	if cfg.CoreSpeed, err = units.ParseFlopRate(s.CoreSpeed); err != nil {
+		return Config{}, fmt.Errorf("platform: coreSpeed: %v", err)
+	}
+	if s.RAMPerNode != "" {
+		if cfg.RAMPerNode, err = units.ParseBytes(s.RAMPerNode); err != nil {
+			return Config{}, fmt.Errorf("platform: ramPerNode: %v", err)
+		}
+	}
+	if cfg.NodeLinkBW, err = units.ParseBandwidth(s.NodeLinkBW); err != nil {
+		return Config{}, fmt.Errorf("platform: nodeLinkBW: %v", err)
+	}
+	if cfg.PFS, err = s.PFS.toConfig("pfs"); err != nil {
+		return Config{}, fmt.Errorf("platform: %v", err)
+	}
+	if cfg.BB, err = s.BB.toConfig("bb"); err != nil {
+		return Config{}, fmt.Errorf("platform: %v", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// MarshalConfig encodes a Config as indented JSON.
+func MarshalConfig(cfg Config) ([]byte, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := spec{
+		Name:         cfg.Name,
+		Nodes:        cfg.Nodes,
+		CoresPerNode: cfg.CoresPerNode,
+		CoreSpeed:    cfg.CoreSpeed.String(),
+		NodeLinkBW:   cfg.NodeLinkBW.String(),
+		PFS:          storageToSpec(cfg.PFS),
+		BB:           storageToSpec(cfg.BB),
+		BBKind:       string(cfg.BBKind),
+		BBMode:       string(cfg.BBMode),
+	}
+	if cfg.RAMPerNode > 0 {
+		s.RAMPerNode = strconv.FormatFloat(float64(cfg.RAMPerNode), 'g', -1, 64)
+	}
+	return json.MarshalIndent(&s, "", "  ")
+}
+
+// LoadConfig reads and parses a platform description file.
+func LoadConfig(path string) (Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, fmt.Errorf("platform: %v", err)
+	}
+	return ParseConfig(data)
+}
+
+// SaveConfig writes a platform description file.
+func SaveConfig(path string, cfg Config) error {
+	data, err := MarshalConfig(cfg)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,186 @@
+package platform
+
+import (
+	"encoding/xml"
+	"fmt"
+	"os"
+	"strconv"
+
+	"bbwfsim/internal/units"
+)
+
+// The paper's simulator takes its platform description as an XML file (a
+// SimGrid platform file). This file implements an XML dialect carrying the
+// same information as the JSON spec:
+//
+//	<platform name="cori">
+//	  <cluster nodes="4" cores="32" speed="36.80 GFlop/s"
+//	           ram="137438953472" linkBW="10.00 GB/s"/>
+//	  <pfs networkBW="1.00 GB/s" diskBW="100.00 MB/s" streamCap="100.00 MB/s"/>
+//	  <burstbuffer kind="shared" mode="private" networkBW="800.00 MB/s"
+//	               diskBW="950.00 MB/s" capacity="6.4e+12"
+//	               streamCap="160.00 MB/s" readLatency="0" writeLatency="0"/>
+//	</platform>
+//
+// Quantities use the same unit strings the JSON spec accepts; capacity and
+// RAM are bare byte counts so they round-trip exactly.
+
+type xmlPlatform struct {
+	XMLName xml.Name   `xml:"platform"`
+	Name    string     `xml:"name,attr"`
+	Cluster xmlCluster `xml:"cluster"`
+	PFS     xmlStorage `xml:"pfs"`
+	BB      xmlBB      `xml:"burstbuffer"`
+}
+
+type xmlCluster struct {
+	Nodes  int    `xml:"nodes,attr"`
+	Cores  int    `xml:"cores,attr"`
+	Speed  string `xml:"speed,attr"`
+	RAM    string `xml:"ram,attr,omitempty"`
+	LinkBW string `xml:"linkBW,attr"`
+}
+
+type xmlStorage struct {
+	NetworkBW    string  `xml:"networkBW,attr,omitempty"`
+	DiskBW       string  `xml:"diskBW,attr"`
+	Capacity     string  `xml:"capacity,attr,omitempty"`
+	StreamCap    string  `xml:"streamCap,attr,omitempty"`
+	ReadLatency  float64 `xml:"readLatency,attr,omitempty"`
+	WriteLatency float64 `xml:"writeLatency,attr,omitempty"`
+}
+
+type xmlBB struct {
+	xmlStorage
+	Kind string `xml:"kind,attr"`
+	Mode string `xml:"mode,attr,omitempty"`
+}
+
+func (s *xmlStorage) toConfig(name string) (StorageConfig, error) {
+	var cfg StorageConfig
+	var err error
+	if s.NetworkBW != "" {
+		if cfg.NetworkBW, err = units.ParseBandwidth(s.NetworkBW); err != nil {
+			return cfg, fmt.Errorf("%s networkBW: %v", name, err)
+		}
+	}
+	if cfg.DiskBW, err = units.ParseBandwidth(s.DiskBW); err != nil {
+		return cfg, fmt.Errorf("%s diskBW: %v", name, err)
+	}
+	if s.Capacity != "" {
+		if cfg.Capacity, err = units.ParseBytes(s.Capacity); err != nil {
+			return cfg, fmt.Errorf("%s capacity: %v", name, err)
+		}
+	}
+	if s.StreamCap != "" {
+		if cfg.StreamCap, err = units.ParseBandwidth(s.StreamCap); err != nil {
+			return cfg, fmt.Errorf("%s streamCap: %v", name, err)
+		}
+	}
+	cfg.ReadLatency = s.ReadLatency
+	cfg.WriteLatency = s.WriteLatency
+	return cfg, nil
+}
+
+func storageToXML(c StorageConfig) xmlStorage {
+	s := xmlStorage{
+		DiskBW:       c.DiskBW.String(),
+		ReadLatency:  c.ReadLatency,
+		WriteLatency: c.WriteLatency,
+	}
+	if c.NetworkBW > 0 {
+		s.NetworkBW = c.NetworkBW.String()
+	}
+	if c.Capacity > 0 {
+		s.Capacity = strconv.FormatFloat(float64(c.Capacity), 'g', -1, 64)
+	}
+	if c.StreamCap > 0 {
+		s.StreamCap = c.StreamCap.String()
+	}
+	return s
+}
+
+// ParseXML decodes an XML platform description.
+func ParseXML(data []byte) (Config, error) {
+	var p xmlPlatform
+	if err := xml.Unmarshal(data, &p); err != nil {
+		return Config{}, fmt.Errorf("platform: decode xml: %v", err)
+	}
+	cfg := Config{
+		Name:         p.Name,
+		Nodes:        p.Cluster.Nodes,
+		CoresPerNode: p.Cluster.Cores,
+		BBKind:       BBKind(p.BB.Kind),
+		BBMode:       BBMode(p.BB.Mode),
+	}
+	var err error
+	if cfg.CoreSpeed, err = units.ParseFlopRate(p.Cluster.Speed); err != nil {
+		return Config{}, fmt.Errorf("platform: cluster speed: %v", err)
+	}
+	if p.Cluster.RAM != "" {
+		if cfg.RAMPerNode, err = units.ParseBytes(p.Cluster.RAM); err != nil {
+			return Config{}, fmt.Errorf("platform: cluster ram: %v", err)
+		}
+	}
+	if cfg.NodeLinkBW, err = units.ParseBandwidth(p.Cluster.LinkBW); err != nil {
+		return Config{}, fmt.Errorf("platform: cluster linkBW: %v", err)
+	}
+	if cfg.PFS, err = p.PFS.toConfig("pfs"); err != nil {
+		return Config{}, fmt.Errorf("platform: %v", err)
+	}
+	if cfg.BB, err = p.BB.toConfig("burstbuffer"); err != nil {
+		return Config{}, fmt.Errorf("platform: %v", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// MarshalXML encodes a Config as an indented XML platform description.
+func MarshalXML(cfg Config) ([]byte, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := xmlPlatform{
+		Name: cfg.Name,
+		Cluster: xmlCluster{
+			Nodes:  cfg.Nodes,
+			Cores:  cfg.CoresPerNode,
+			Speed:  cfg.CoreSpeed.String(),
+			LinkBW: cfg.NodeLinkBW.String(),
+		},
+		PFS: storageToXML(cfg.PFS),
+		BB: xmlBB{
+			xmlStorage: storageToXML(cfg.BB),
+			Kind:       string(cfg.BBKind),
+			Mode:       string(cfg.BBMode),
+		},
+	}
+	if cfg.RAMPerNode > 0 {
+		p.Cluster.RAM = strconv.FormatFloat(float64(cfg.RAMPerNode), 'g', -1, 64)
+	}
+	data, err := xml.MarshalIndent(&p, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(xml.Header), data...), nil
+}
+
+// LoadXML reads and parses an XML platform file.
+func LoadXML(path string) (Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, fmt.Errorf("platform: %v", err)
+	}
+	return ParseXML(data)
+}
+
+// SaveXML writes an XML platform file.
+func SaveXML(path string, cfg Config) error {
+	data, err := MarshalXML(cfg)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,104 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestXMLRoundTrip(t *testing.T) {
+	for name, cfg := range Presets(8) {
+		data, err := MarshalXML(cfg)
+		if err != nil {
+			t.Errorf("%s: marshal: %v", name, err)
+			continue
+		}
+		back, err := ParseXML(data)
+		if err != nil {
+			t.Errorf("%s: parse: %v", name, err)
+			continue
+		}
+		if !EqualConfigs(cfg, back) {
+			t.Errorf("%s: XML round trip changed config:\n%+v\n!=\n%+v", name, cfg, back)
+		}
+	}
+}
+
+func TestXMLHandWritten(t *testing.T) {
+	doc := `<?xml version="1.0"?>
+<platform name="toy">
+  <cluster nodes="2" cores="8" speed="2 GFlop/s" ram="1GiB" linkBW="5 GB/s"/>
+  <pfs networkBW="1 GB/s" diskBW="200 MB/s"/>
+  <burstbuffer kind="on-node" diskBW="3 GB/s" capacity="1e12" streamCap="1 GB/s"
+               readLatency="0.001" writeLatency="0.002"/>
+</platform>`
+	cfg, err := ParseXML([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Name != "toy" || cfg.Nodes != 2 || cfg.CoresPerNode != 8 {
+		t.Errorf("cluster wrong: %+v", cfg)
+	}
+	if cfg.BBKind != BBOnNode || cfg.BB.Capacity != 1e12 {
+		t.Errorf("BB wrong: %+v", cfg.BB)
+	}
+	if cfg.BB.ReadLatency != 0.001 || cfg.BB.WriteLatency != 0.002 {
+		t.Errorf("latencies wrong: %+v", cfg.BB)
+	}
+	if cfg.PFS.NetworkBW != 1e9 {
+		t.Errorf("PFS network wrong: %v", cfg.PFS.NetworkBW)
+	}
+}
+
+func TestXMLErrors(t *testing.T) {
+	cases := []string{
+		`not xml at all <`,
+		// missing speed
+		`<platform name="x"><cluster nodes="1" cores="1" linkBW="1GB/s"/>
+		 <pfs diskBW="1GB/s"/><burstbuffer kind="on-node" diskBW="1GB/s"/></platform>`,
+		// bad bandwidth
+		`<platform name="x"><cluster nodes="1" cores="1" speed="1GFlop/s" linkBW="fast"/>
+		 <pfs diskBW="1GB/s"/><burstbuffer kind="on-node" diskBW="1GB/s"/></platform>`,
+		// invalid BB kind
+		`<platform name="x"><cluster nodes="1" cores="1" speed="1GFlop/s" linkBW="1GB/s"/>
+		 <pfs diskBW="1GB/s"/><burstbuffer kind="floating" diskBW="1GB/s"/></platform>`,
+		// shared BB without a mode
+		`<platform name="x"><cluster nodes="1" cores="1" speed="1GFlop/s" linkBW="1GB/s"/>
+		 <pfs diskBW="1GB/s"/><burstbuffer kind="shared" diskBW="1GB/s"/></platform>`,
+	}
+	for i, c := range cases {
+		if _, err := ParseXML([]byte(c)); err == nil {
+			t.Errorf("case %d: invalid XML accepted", i)
+		}
+	}
+}
+
+func TestXMLSaveLoad(t *testing.T) {
+	path := t.TempDir() + "/plat.xml"
+	cfg := Summit(4)
+	if err := SaveXML(path, cfg); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadXML(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EqualConfigs(cfg, back) {
+		t.Error("XML save/load changed config")
+	}
+	if _, err := LoadXML(t.TempDir() + "/nope.xml"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestXMLHeaderPresent(t *testing.T) {
+	data, err := MarshalXML(Cori(1, BBStriped))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<?xml") {
+		t.Error("XML output missing header")
+	}
+	if !strings.Contains(string(data), `mode="striped"`) {
+		t.Error("XML output missing BB mode")
+	}
+}

@@ -1,0 +1,45 @@
+package sim
+
+import "testing"
+
+// BenchmarkEventThroughput measures raw event scheduling + dispatch.
+func BenchmarkEventThroughput(b *testing.B) {
+	e := NewEngine()
+	count := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(float64(i%97)/10, func() { count++ })
+	}
+	e.Run()
+	b.StopTimer()
+	if count != b.N {
+		b.Fatalf("fired %d of %d events", count, b.N)
+	}
+}
+
+// BenchmarkCancellation measures schedule + cancel churn, the pattern the
+// flow model's completion rescheduling produces.
+func BenchmarkCancellation(b *testing.B) {
+	e := NewEngine()
+	for i := 0; i < b.N; i++ {
+		ev := e.After(1e9, func() {})
+		e.Cancel(ev)
+	}
+}
+
+// BenchmarkNestedScheduling measures the event-from-event pattern of the
+// execution engine (each completion schedules successors).
+func BenchmarkNestedScheduling(b *testing.B) {
+	e := NewEngine()
+	remaining := b.N
+	var chain func()
+	chain = func() {
+		remaining--
+		if remaining > 0 {
+			e.After(0.001, chain)
+		}
+	}
+	e.After(0.001, chain)
+	b.ResetTimer()
+	e.Run()
+}

@@ -1,0 +1,317 @@
+package storage
+
+import (
+	"fmt"
+
+	"bbwfsim/internal/flow"
+	"bbwfsim/internal/platform"
+	"bbwfsim/internal/sim"
+	"bbwfsim/internal/units"
+	"bbwfsim/internal/workflow"
+)
+
+// OpKind identifies a storage operation.
+type OpKind string
+
+const (
+	// OpRead moves file content from a service to a compute node.
+	OpRead OpKind = "read"
+	// OpWrite moves file content from a compute node to a service.
+	OpWrite OpKind = "write"
+	// OpCopy moves file content service-to-service through a compute node
+	// (stage-in / stage-out).
+	OpCopy OpKind = "copy"
+)
+
+// OpParams are the tunable characteristics of one operation. The base
+// values come from the target service; an OpModel may adjust them.
+type OpParams struct {
+	// Latency is the fixed per-operation cost in seconds before data moves.
+	Latency float64
+	// RateCap bounds the stream rate in bytes/s; 0 means unbounded.
+	RateCap units.Bandwidth
+	// SizeFactor scales the effective transfer volume; values above 1 model
+	// overheads that stretch the transfer (noise, fragmentation). Must be
+	// positive.
+	SizeFactor float64
+}
+
+// OpContext describes an operation to an OpModel.
+type OpContext struct {
+	Kind    OpKind
+	Service Service // target: the read source, write destination, or copy destination
+	Source  Service // copy source; nil otherwise
+	Node    *platform.Node
+	File    *workflow.File
+	// InFlight is the number of operations already in flight on Service
+	// when this one starts.
+	InFlight int
+	// Time is the virtual time the operation starts.
+	Time float64
+}
+
+// OpModel adjusts operation parameters. The lightweight simulator uses the
+// identity model; the synthetic testbed (internal/testbed) installs a model
+// that adds mode-dependent latency, contention penalties, anomalies, and
+// measurement noise.
+type OpModel interface {
+	Adjust(ctx OpContext, base OpParams) OpParams
+}
+
+// IdentityModel returns base parameters unchanged. It is the OpModel of the
+// paper's lightweight simulator.
+type IdentityModel struct{}
+
+// Adjust implements OpModel.
+func (IdentityModel) Adjust(_ OpContext, base OpParams) OpParams { return base }
+
+// ServiceStats aggregates the traffic a service carried.
+type ServiceStats struct {
+	BytesRead    units.Bytes
+	BytesWritten units.Bytes
+	ReadOps      int
+	WriteOps     int
+	// ReadSeconds and WriteSeconds sum per-operation wall durations
+	// (latency included), for achieved-bandwidth reporting (Fig. 9).
+	ReadSeconds  float64
+	WriteSeconds float64
+}
+
+// ReadBandwidth returns the average achieved read bandwidth.
+func (s ServiceStats) ReadBandwidth() units.Bandwidth {
+	if s.ReadSeconds <= 0 {
+		return 0
+	}
+	return units.Bandwidth(float64(s.BytesRead) / s.ReadSeconds)
+}
+
+// WriteBandwidth returns the average achieved write bandwidth.
+func (s ServiceStats) WriteBandwidth() units.Bandwidth {
+	if s.WriteSeconds <= 0 {
+		return 0
+	}
+	return units.Bandwidth(float64(s.BytesWritten) / s.WriteSeconds)
+}
+
+// Op is a storage operation in flight.
+type Op struct {
+	Kind    OpKind
+	File    *workflow.File
+	Service Service
+	Source  Service
+	Node    *platform.Node
+	Started float64
+
+	fl        *flow.Flow
+	mgr       *Manager
+	reserved  units.Bytes
+	cancelled bool
+	finished  bool
+}
+
+// Cancel aborts the operation: its callback will not run, and a write's
+// reservation is returned.
+func (o *Op) Cancel() {
+	if o.finished || o.cancelled {
+		return
+	}
+	o.cancelled = true
+	o.fl.Cancel()
+	o.mgr.inFlight[o.Service]--
+	if o.reserved > 0 {
+		o.Service.Release(o.reserved)
+	}
+}
+
+// Manager starts storage operations and keeps per-service accounting.
+type Manager struct {
+	eng      *sim.Engine
+	net      *flow.Network
+	reg      *Registry
+	model    OpModel
+	inFlight map[Service]int
+	stats    map[Service]*ServiceStats
+}
+
+// NewManager builds a manager over the platform's flow network. A nil model
+// means the identity model.
+func NewManager(eng *sim.Engine, net *flow.Network, reg *Registry, model OpModel) *Manager {
+	if model == nil {
+		model = IdentityModel{}
+	}
+	return &Manager{
+		eng:      eng,
+		net:      net,
+		reg:      reg,
+		model:    model,
+		inFlight: map[Service]int{},
+		stats:    map[Service]*ServiceStats{},
+	}
+}
+
+// SetModel replaces the operation model (used when wiring a testbed).
+func (m *Manager) SetModel(model OpModel) {
+	if model == nil {
+		model = IdentityModel{}
+	}
+	m.model = model
+}
+
+// Registry returns the file-location registry the manager updates.
+func (m *Manager) Registry() *Registry { return m.reg }
+
+// InFlight returns the number of operations currently running on svc.
+func (m *Manager) InFlight(svc Service) int { return m.inFlight[svc] }
+
+// Stats returns the accumulated statistics for svc.
+func (m *Manager) Stats(svc Service) ServiceStats {
+	if s := m.stats[svc]; s != nil {
+		return *s
+	}
+	return ServiceStats{}
+}
+
+func (m *Manager) statsFor(svc Service) *ServiceStats {
+	s := m.stats[svc]
+	if s == nil {
+		s = &ServiceStats{}
+		m.stats[svc] = s
+	}
+	return s
+}
+
+func (m *Manager) adjust(ctx OpContext, base OpParams) OpParams {
+	ctx.InFlight = m.inFlight[ctx.Service]
+	ctx.Time = m.eng.Now()
+	p := m.model.Adjust(ctx, base)
+	if p.SizeFactor <= 0 {
+		panic(fmt.Sprintf("storage: op model produced size factor %g", p.SizeFactor))
+	}
+	if p.Latency < 0 {
+		panic(fmt.Sprintf("storage: op model produced latency %g", p.Latency))
+	}
+	return p
+}
+
+// Read starts reading f from svc into node. onDone runs at completion.
+func (m *Manager) Read(node *platform.Node, f *workflow.File, svc Service, onDone func()) (*Op, error) {
+	if !m.reg.Has(f, svc) {
+		return nil, fmt.Errorf("storage: read %q from %s: no replica there", f.ID(), svc.Name())
+	}
+	params := m.adjust(
+		OpContext{Kind: OpRead, Service: svc, Node: node, File: f},
+		OpParams{Latency: svc.ReadLatency(), RateCap: svc.StreamCap(node), SizeFactor: 1},
+	)
+	op := &Op{Kind: OpRead, File: f, Service: svc, Node: node, Started: m.eng.Now(), mgr: m}
+	m.inFlight[svc]++
+	op.fl = m.net.StartFlow(
+		float64(f.Size())*params.SizeFactor,
+		svc.ReadPath(node),
+		flow.Options{RateCap: float64(params.RateCap), Latency: params.Latency},
+		func() {
+			op.finished = true
+			m.inFlight[svc]--
+			st := m.statsFor(svc)
+			st.BytesRead += f.Size()
+			st.ReadOps++
+			st.ReadSeconds += m.eng.Now() - op.Started
+			if onDone != nil {
+				onDone()
+			}
+		},
+	)
+	return op, nil
+}
+
+// Write starts writing f from node to svc. Space is reserved up front; the
+// replica registers when the write completes.
+func (m *Manager) Write(node *platform.Node, f *workflow.File, svc Service, onDone func()) (*Op, error) {
+	if err := svc.Reserve(f.Size()); err != nil {
+		return nil, err
+	}
+	params := m.adjust(
+		OpContext{Kind: OpWrite, Service: svc, Node: node, File: f},
+		OpParams{Latency: svc.WriteLatency(), RateCap: svc.StreamCap(node), SizeFactor: 1},
+	)
+	op := &Op{Kind: OpWrite, File: f, Service: svc, Node: node, Started: m.eng.Now(), mgr: m, reserved: f.Size()}
+	m.inFlight[svc]++
+	op.fl = m.net.StartFlow(
+		float64(f.Size())*params.SizeFactor,
+		svc.WritePath(node),
+		flow.Options{RateCap: float64(params.RateCap), Latency: params.Latency},
+		func() {
+			op.finished = true
+			m.inFlight[svc]--
+			m.reg.AddFrom(f, svc, node)
+			st := m.statsFor(svc)
+			st.BytesWritten += f.Size()
+			st.WriteOps++
+			st.WriteSeconds += m.eng.Now() - op.Started
+			if onDone != nil {
+				onDone()
+			}
+		},
+	)
+	return op, nil
+}
+
+// Copy stages f from src to dst through node: one flow across the
+// concatenation of the read and write paths, bounded by the tighter stream
+// cap, paying both services' latencies. Space is reserved on dst up front.
+func (m *Manager) Copy(node *platform.Node, f *workflow.File, src, dst Service, onDone func()) (*Op, error) {
+	if !m.reg.Has(f, src) {
+		return nil, fmt.Errorf("storage: copy %q from %s: no replica there", f.ID(), src.Name())
+	}
+	if src == dst {
+		return nil, fmt.Errorf("storage: copy %q onto itself (%s)", f.ID(), src.Name())
+	}
+	if err := dst.Reserve(f.Size()); err != nil {
+		return nil, err
+	}
+	readCap := src.StreamCap(node)
+	writeCap := dst.StreamCap(node)
+	cap := readCap
+	if cap == 0 || (writeCap > 0 && writeCap < cap) {
+		cap = writeCap
+	}
+	params := m.adjust(
+		OpContext{Kind: OpCopy, Service: dst, Source: src, Node: node, File: f},
+		OpParams{Latency: src.ReadLatency() + dst.WriteLatency(), RateCap: cap, SizeFactor: 1},
+	)
+	path := append(append([]*flow.Resource{}, src.ReadPath(node)...), dst.WritePath(node)...)
+	op := &Op{Kind: OpCopy, File: f, Service: dst, Source: src, Node: node, Started: m.eng.Now(), mgr: m, reserved: f.Size()}
+	m.inFlight[dst]++
+	op.fl = m.net.StartFlow(
+		float64(f.Size())*params.SizeFactor,
+		path,
+		flow.Options{RateCap: float64(params.RateCap), Latency: params.Latency},
+		func() {
+			op.finished = true
+			m.inFlight[dst]--
+			m.reg.AddFrom(f, dst, node)
+			dur := m.eng.Now() - op.Started
+			sst := m.statsFor(src)
+			sst.BytesRead += f.Size()
+			sst.ReadOps++
+			sst.ReadSeconds += dur
+			dstStats := m.statsFor(dst)
+			dstStats.BytesWritten += f.Size()
+			dstStats.WriteOps++
+			dstStats.WriteSeconds += dur
+			if onDone != nil {
+				onDone()
+			}
+		},
+	)
+	return op, nil
+}
+
+// Evict removes the replica of f on svc and frees its space.
+func (m *Manager) Evict(f *workflow.File, svc Service) error {
+	if !m.reg.Has(f, svc) {
+		return fmt.Errorf("storage: evict %q from %s: no replica there", f.ID(), svc.Name())
+	}
+	m.reg.Remove(f, svc)
+	svc.Release(f.Size())
+	return nil
+}

@@ -1,0 +1,125 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"bbwfsim/internal/platform"
+	"bbwfsim/internal/workflow"
+)
+
+// Registry tracks where file replicas live. A file may be resident on any
+// number of services at once (e.g. a workflow input on the PFS and a staged
+// copy on the burst buffer). Each replica remembers which compute node
+// created it, which is what the private DataWarp mode's visibility rule
+// ("access to files in the BB are limited to the compute node that created
+// them", paper Section III-D) is enforced against.
+type Registry struct {
+	locations map[*workflow.File]map[Service]*replica
+}
+
+// replica is one copy of a file on one service.
+type replica struct {
+	// creator is the compute node that wrote the replica; nil means the
+	// replica pre-exists (initial placement) and is visible to everyone.
+	creator *platform.Node
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{locations: map[*workflow.File]map[Service]*replica{}}
+}
+
+// Add records that svc holds a replica of f with no particular creator
+// (visible from every node).
+func (r *Registry) Add(f *workflow.File, svc Service) {
+	r.AddFrom(f, svc, nil)
+}
+
+// AddFrom records that svc holds a replica of f created by node.
+func (r *Registry) AddFrom(f *workflow.File, svc Service, node *platform.Node) {
+	m := r.locations[f]
+	if m == nil {
+		m = map[Service]*replica{}
+		r.locations[f] = m
+	}
+	m[svc] = &replica{creator: node}
+}
+
+// Remove forgets the replica of f on svc. Removing an absent replica is a
+// no-op.
+func (r *Registry) Remove(f *workflow.File, svc Service) {
+	delete(r.locations[f], svc)
+}
+
+// Has reports whether svc holds a replica of f.
+func (r *Registry) Has(f *workflow.File, svc Service) bool {
+	return r.locations[f][svc] != nil
+}
+
+// Creator returns the node that created the replica of f on svc, or nil
+// when the replica pre-exists or is absent.
+func (r *Registry) Creator(f *workflow.File, svc Service) *platform.Node {
+	if rep := r.locations[f][svc]; rep != nil {
+		return rep.creator
+	}
+	return nil
+}
+
+// Locations returns the services holding f, sorted by name for determinism.
+func (r *Registry) Locations(f *workflow.File) []Service {
+	var svcs []Service
+	for svc := range r.locations[f] {
+		svcs = append(svcs, svc)
+	}
+	sort.Slice(svcs, func(i, j int) bool { return svcs[i].Name() < svcs[j].Name() })
+	return svcs
+}
+
+// Located reports whether any service holds f.
+func (r *Registry) Located(f *workflow.File) bool {
+	return len(r.locations[f]) > 0
+}
+
+// Best picks the replica of f a task on node should read: a node-local BB
+// on that node beats any other burst buffer, which beats the PFS. Ties are
+// broken by service name. It returns an error when no replica exists.
+func (r *Registry) Best(f *workflow.File, node *platform.Node) (Service, error) {
+	return r.BestVisible(f, node, false)
+}
+
+// BestVisible is Best with optional enforcement of the private DataWarp
+// visibility rule: when enforcePrivate is set, replicas on a private-mode
+// shared burst buffer that were created by a *different* compute node are
+// invisible, and the reader falls back to another replica (typically the
+// PFS).
+func (r *Registry) BestVisible(f *workflow.File, node *platform.Node, enforcePrivate bool) (Service, error) {
+	var best Service
+	bestRank := -1
+	for _, svc := range r.Locations(f) {
+		if enforcePrivate && svc.Kind() == KindSharedBB && svc.Mode() == platform.BBPrivate {
+			if c := r.Creator(f, svc); c != nil && c != node {
+				continue
+			}
+		}
+		rank := 0
+		switch {
+		case svc.Kind() == KindNodeBB && svc.Local(node):
+			rank = 3
+		case svc.Kind() == KindNodeBB:
+			rank = 2
+		case svc.Kind() == KindSharedBB:
+			rank = 2
+		case svc.Kind() == KindPFS:
+			rank = 1
+		}
+		if rank > bestRank {
+			bestRank = rank
+			best = svc
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("storage: file %q has no replica", f.ID())
+	}
+	return best, nil
+}

@@ -1,0 +1,109 @@
+package storage
+
+import (
+	"fmt"
+
+	"bbwfsim/internal/platform"
+	"bbwfsim/internal/workflow"
+)
+
+// System assembles the storage side of a platform: the PFS plus either one
+// shared burst buffer or one node-local burst buffer per compute node,
+// together with the file registry and the operation manager.
+type System struct {
+	plat     *platform.Platform
+	reg      *Registry
+	mgr      *Manager
+	pfs      Service
+	sharedBB Service   // non-nil iff the platform has a shared BB
+	nodeBB   []Service // indexed by node index; non-nil iff on-node BBs
+}
+
+// NewSystem instantiates storage services from the platform configuration.
+// A nil model means the identity operation model.
+func NewSystem(p *platform.Platform, model OpModel) *System {
+	cfg := p.Config()
+	s := &System{
+		plat: p,
+		reg:  NewRegistry(),
+	}
+	s.mgr = NewManager(p.Engine(), p.Network(), s.reg, model)
+	s.pfs = NewRemote(p, "pfs", KindPFS, platform.BBModeNone, cfg.PFS)
+	switch cfg.BBKind {
+	case platform.BBShared:
+		s.sharedBB = NewRemote(p, "bb", KindSharedBB, cfg.BBMode, cfg.BB)
+	case platform.BBOnNode:
+		for _, n := range p.Nodes() {
+			s.nodeBB = append(s.nodeBB, NewNodeLocal(p, n, cfg.BB))
+		}
+	default:
+		panic(fmt.Sprintf("storage: unknown BB kind %q", cfg.BBKind))
+	}
+	return s
+}
+
+// Platform returns the underlying platform.
+func (s *System) Platform() *platform.Platform { return s.plat }
+
+// Registry returns the file-location registry.
+func (s *System) Registry() *Registry { return s.reg }
+
+// Manager returns the operation manager.
+func (s *System) Manager() *Manager { return s.mgr }
+
+// PFS returns the parallel file system service.
+func (s *System) PFS() Service { return s.pfs }
+
+// SharedBB returns the shared burst buffer, or nil on an on-node platform.
+func (s *System) SharedBB() Service { return s.sharedBB }
+
+// BBFor returns the burst buffer a task on node targets: the shared BB on a
+// shared platform, the node's own BB on an on-node platform.
+func (s *System) BBFor(node *platform.Node) Service {
+	if s.sharedBB != nil {
+		return s.sharedBB
+	}
+	return s.nodeBB[node.Index()]
+}
+
+// AllBBs returns every burst-buffer service.
+func (s *System) AllBBs() []Service {
+	if s.sharedBB != nil {
+		return []Service{s.sharedBB}
+	}
+	return append([]Service{}, s.nodeBB...)
+}
+
+// Services returns every storage service, PFS first.
+func (s *System) Services() []Service {
+	return append([]Service{s.pfs}, s.AllBBs()...)
+}
+
+// PlaceInitial registers f as already resident on svc (reserving its
+// space), without simulating any transfer. Used to place workflow inputs on
+// long-term storage before execution starts.
+func (s *System) PlaceInitial(f *workflow.File, svc Service) error {
+	if s.reg.Has(f, svc) {
+		return fmt.Errorf("storage: file %q already on %s", f.ID(), svc.Name())
+	}
+	if err := svc.Reserve(f.Size()); err != nil {
+		return err
+	}
+	s.reg.Add(f, svc)
+	return nil
+}
+
+// BBStats sums the manager statistics across all burst-buffer services.
+func (s *System) BBStats() ServiceStats {
+	var total ServiceStats
+	for _, bb := range s.AllBBs() {
+		st := s.mgr.Stats(bb)
+		total.BytesRead += st.BytesRead
+		total.BytesWritten += st.BytesWritten
+		total.ReadOps += st.ReadOps
+		total.WriteOps += st.WriteOps
+		total.ReadSeconds += st.ReadSeconds
+		total.WriteSeconds += st.WriteSeconds
+	}
+	return total
+}

@@ -1,0 +1,146 @@
+package swarp
+
+import (
+	"math"
+	"testing"
+
+	"bbwfsim/internal/calib"
+	"bbwfsim/internal/units"
+	"bbwfsim/internal/workflow"
+)
+
+func TestSinglePipelineShape(t *testing.T) {
+	w := MustNew(Params{Pipelines: 1})
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 1 stage-in + 1 resample + 1 combine.
+	if got := len(w.Tasks()); got != 3 {
+		t.Fatalf("tasks = %d, want 3", got)
+	}
+	stage := w.Task("stage_in")
+	if stage == nil || stage.Kind() != workflow.KindStageIn {
+		t.Fatal("missing stage-in task")
+	}
+	if got := len(stage.Outputs()); got != 32 { // 16 images + 16 weights
+		t.Errorf("stage-in outputs = %d, want 32", got)
+	}
+	res := w.Task("resample_000")
+	if got := len(res.Inputs()); got != 32 {
+		t.Errorf("resample inputs = %d, want 32", got)
+	}
+	if got := len(res.Outputs()); got != 32 {
+		t.Errorf("resample outputs = %d, want 32", got)
+	}
+	com := w.Task("combine_000")
+	if got := len(com.Inputs()); got != 32 {
+		t.Errorf("combine inputs = %d, want 32", got)
+	}
+	if got := len(com.Outputs()); got != 2 {
+		t.Errorf("combine outputs = %d, want 2 (coadd + weight)", got)
+	}
+	// Dependency chain: stage → resample → combine.
+	if ps := res.Parents(); len(ps) != 1 || ps[0] != stage {
+		t.Error("resample should depend only on stage-in")
+	}
+	if ps := com.Parents(); len(ps) != 1 || ps[0] != res {
+		t.Error("combine should depend only on resample")
+	}
+}
+
+func TestFileSizesMatchPaper(t *testing.T) {
+	w := MustNew(Params{Pipelines: 1})
+	if got := w.File("p000_img00.fits").Size(); got != 32*units.MiB {
+		t.Errorf("image size = %v, want 32 MiB", got)
+	}
+	if got := w.File("p000_wht00.fits").Size(); got != 16*units.MiB {
+		t.Errorf("weight size = %v, want 16 MiB", got)
+	}
+	if got := InputBytesPerPipeline(0); got != 16*(32+16)*units.MiB {
+		t.Errorf("input bytes per pipeline = %v, want 768 MiB", got)
+	}
+}
+
+func TestLambdaAnnotations(t *testing.T) {
+	w := MustNew(Params{Pipelines: 2})
+	if got := w.Task("resample_001").LambdaIO(); got != calib.LambdaIOResample {
+		t.Errorf("resample λ = %v, want %v", got, calib.LambdaIOResample)
+	}
+	if got := w.Task("combine_001").LambdaIO(); got != calib.LambdaIOCombine {
+		t.Errorf("combine λ = %v, want %v", got, calib.LambdaIOCombine)
+	}
+}
+
+func TestWorkDerivesFromEq4(t *testing.T) {
+	// ResampleWork must equal p(1−λ)T(p)·speed for the anchor observation.
+	want := 32 * (1 - 0.203) * 12.0 * 36.80e9
+	if math.Abs(float64(ResampleWork)-want) > 1e-3 {
+		t.Errorf("ResampleWork = %v, want %v", float64(ResampleWork), want)
+	}
+	o := calib.Observation{TaskName: "resample", Cores: 32, Time: 12, LambdaIO: calib.LambdaIOResample}
+	w, err := o.Work(36.80 * units.GFlopPerSec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(w-ResampleWork)) > 1e-3 {
+		t.Errorf("calib package disagrees with swarp anchor: %v vs %v", w, ResampleWork)
+	}
+}
+
+func TestManyPipelinesIndependent(t *testing.T) {
+	const n = 8
+	w := MustNew(Params{Pipelines: n})
+	if got := len(w.Tasks()); got != 1+2*n {
+		t.Fatalf("tasks = %d, want %d", got, 1+2*n)
+	}
+	levels, err := w.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Level 0: stage-in; level 1: n resamples; level 2: n combines.
+	if len(levels) != 3 || len(levels[1]) != n || len(levels[2]) != n {
+		t.Errorf("level shape wrong: %d levels", len(levels))
+	}
+	// Pipelines must not share files.
+	for _, f := range w.Files() {
+		if len(f.Consumers()) > 1 {
+			t.Errorf("file %s shared by %d consumers", f.ID(), len(f.Consumers()))
+		}
+	}
+}
+
+func TestCoresParameter(t *testing.T) {
+	w := MustNew(Params{Pipelines: 1, CoresPerTask: 8})
+	if got := w.Task("resample_000").Cores(); got != 8 {
+		t.Errorf("resample cores = %d, want 8", got)
+	}
+	if got := w.Task("stage_in").Cores(); got != 1 {
+		t.Errorf("stage-in cores = %d, want 1 (always sequential)", got)
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	if _, err := New(Params{Pipelines: 0}); err == nil {
+		t.Error("0 pipelines accepted")
+	}
+	if _, err := New(Params{Pipelines: -3}); err == nil {
+		t.Error("negative pipelines accepted")
+	}
+}
+
+func TestStatsFootprint(t *testing.T) {
+	w := MustNew(Params{Pipelines: 1})
+	s, err := w.ComputeStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inputs (produced by stage-in, so not "workflow inputs"): footprint =
+	// 768 MiB staged + 768 MiB intermediates + 96 MiB coadd.
+	want := 768*units.MiB + 768*units.MiB + 96*units.MiB
+	if s.TotalBytes != want {
+		t.Errorf("footprint = %v, want %v", s.TotalBytes, want)
+	}
+	if s.TasksByName["resample"] != 1 || s.TasksByName["combine"] != 1 {
+		t.Error("task categories wrong")
+	}
+}

@@ -1,0 +1,262 @@
+// Package trace collects the time-stamped event log a simulation produces,
+// mirroring the paper's simulator output ("the simulator simulates the
+// execution of the workflow and outputs a time-stamped event trace; the
+// date of the last event gives the overall makespan").
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"bbwfsim/internal/units"
+)
+
+// EventKind labels a trace event.
+type EventKind string
+
+// The event kinds emitted by the execution engine.
+const (
+	TaskReady    EventKind = "task-ready"
+	TaskStart    EventKind = "task-start"
+	ReadStart    EventKind = "read-start"
+	ReadEnd      EventKind = "read-end"
+	ComputeStart EventKind = "compute-start"
+	ComputeEnd   EventKind = "compute-end"
+	WriteStart   EventKind = "write-start"
+	WriteEnd     EventKind = "write-end"
+	StageStart   EventKind = "stage-start"
+	StageEnd     EventKind = "stage-end"
+	TaskEnd      EventKind = "task-end"
+)
+
+// Event is one time-stamped occurrence.
+type Event struct {
+	Time   float64   `json:"time"`
+	Kind   EventKind `json:"kind"`
+	TaskID string    `json:"task"`
+	Detail string    `json:"detail,omitempty"`
+}
+
+// TaskRecord aggregates one task's execution.
+type TaskRecord struct {
+	TaskID string `json:"task"`
+	Name   string `json:"name"`
+	Node   string `json:"node"`
+	Cores  int    `json:"cores"`
+
+	ReadyAt     float64 `json:"readyAt"`
+	StartedAt   float64 `json:"startedAt"`
+	ReadDoneAt  float64 `json:"readDoneAt"`
+	ComputeDone float64 `json:"computeDoneAt"`
+	FinishedAt  float64 `json:"finishedAt"`
+
+	BytesRead    units.Bytes `json:"bytesRead"`
+	BytesWritten units.Bytes `json:"bytesWritten"`
+}
+
+// ExecTime returns the task's wall time from start to finish.
+func (r *TaskRecord) ExecTime() float64 { return r.FinishedAt - r.StartedAt }
+
+// IOTime returns the time spent in I/O phases (input reads + output
+// writes).
+func (r *TaskRecord) IOTime() float64 {
+	return (r.ReadDoneAt - r.StartedAt) + (r.FinishedAt - r.ComputeDone)
+}
+
+// ComputeTime returns the time spent in the compute phase.
+func (r *TaskRecord) ComputeTime() float64 { return r.ComputeDone - r.ReadDoneAt }
+
+// WaitTime returns the time spent queued (ready but not started).
+func (r *TaskRecord) WaitTime() float64 { return r.StartedAt - r.ReadyAt }
+
+// Trace is the full output of one simulated execution.
+type Trace struct {
+	WorkflowName string
+	PlatformName string
+	events       []Event
+	records      []*TaskRecord
+	byTask       map[string]*TaskRecord
+	makespan     float64
+}
+
+// New returns an empty trace.
+func New(workflowName, platformName string) *Trace {
+	return &Trace{
+		WorkflowName: workflowName,
+		PlatformName: platformName,
+		byTask:       map[string]*TaskRecord{},
+	}
+}
+
+// Record appends an event and advances the makespan.
+func (t *Trace) Record(time float64, kind EventKind, taskID, detail string) {
+	t.events = append(t.events, Event{Time: time, Kind: kind, TaskID: taskID, Detail: detail})
+	if time > t.makespan {
+		t.makespan = time
+	}
+}
+
+// Task returns (creating if necessary) the record for taskID.
+func (t *Trace) Task(taskID string) *TaskRecord {
+	if r := t.byTask[taskID]; r != nil {
+		return r
+	}
+	r := &TaskRecord{TaskID: taskID}
+	t.byTask[taskID] = r
+	t.records = append(t.records, r)
+	return r
+}
+
+// Lookup returns the record for taskID, or nil.
+func (t *Trace) Lookup(taskID string) *TaskRecord {
+	return t.byTask[taskID]
+}
+
+// Events returns all events in recording order (which is time order, since
+// the simulation clock is monotone).
+func (t *Trace) Events() []Event { return t.events }
+
+// Records returns all task records in first-touch order.
+func (t *Trace) Records() []*TaskRecord { return t.records }
+
+// Makespan returns the time of the last recorded event.
+func (t *Trace) Makespan() float64 { return t.makespan }
+
+// Summary aggregates task records by task name.
+type Summary struct {
+	Name         string
+	Count        int
+	MeanExec     float64
+	MaxExec      float64
+	MeanIO       float64
+	MeanCompute  float64
+	MeanWait     float64
+	BytesRead    units.Bytes
+	BytesWritten units.Bytes
+}
+
+// Summarize groups records by task name and averages their phases. Results
+// are sorted by name.
+func (t *Trace) Summarize() []Summary {
+	byName := map[string]*Summary{}
+	for _, r := range t.records {
+		s := byName[r.Name]
+		if s == nil {
+			s = &Summary{Name: r.Name}
+			byName[r.Name] = s
+		}
+		s.Count++
+		s.MeanExec += r.ExecTime()
+		if r.ExecTime() > s.MaxExec {
+			s.MaxExec = r.ExecTime()
+		}
+		s.MeanIO += r.IOTime()
+		s.MeanCompute += r.ComputeTime()
+		s.MeanWait += r.WaitTime()
+		s.BytesRead += r.BytesRead
+		s.BytesWritten += r.BytesWritten
+	}
+	var out []Summary
+	for _, s := range byName {
+		n := float64(s.Count)
+		s.MeanExec /= n
+		s.MeanIO /= n
+		s.MeanCompute /= n
+		s.MeanWait /= n
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// MeanExecByName returns the mean exec time of tasks with the given name,
+// or an error if none exist.
+func (t *Trace) MeanExecByName(name string) (float64, error) {
+	sum, count := 0.0, 0
+	for _, r := range t.records {
+		if r.Name == name {
+			sum += r.ExecTime()
+			count++
+		}
+	}
+	if count == 0 {
+		return 0, fmt.Errorf("trace: no tasks named %q", name)
+	}
+	return sum / float64(count), nil
+}
+
+// GanttRow is one bar of a Gantt chart.
+type GanttRow struct {
+	TaskID string  `json:"task"`
+	Name   string  `json:"name"`
+	Node   string  `json:"node"`
+	Start  float64 `json:"start"`
+	End    float64 `json:"end"`
+	Phase  string  `json:"phase"` // "read", "compute", "write"
+}
+
+// Gantt expands each task record into its read/compute/write bars, sorted
+// by start time then task ID.
+func (t *Trace) Gantt() []GanttRow {
+	var rows []GanttRow
+	for _, r := range t.records {
+		if r.ReadDoneAt > r.StartedAt {
+			rows = append(rows, GanttRow{r.TaskID, r.Name, r.Node, r.StartedAt, r.ReadDoneAt, "read"})
+		}
+		if r.ComputeDone > r.ReadDoneAt {
+			rows = append(rows, GanttRow{r.TaskID, r.Name, r.Node, r.ReadDoneAt, r.ComputeDone, "compute"})
+		}
+		if r.FinishedAt > r.ComputeDone {
+			rows = append(rows, GanttRow{r.TaskID, r.Name, r.Node, r.ComputeDone, r.FinishedAt, "write"})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Start != rows[j].Start {
+			return rows[i].Start < rows[j].Start
+		}
+		return rows[i].TaskID < rows[j].TaskID
+	})
+	return rows
+}
+
+// jsonTrace is the export schema.
+type jsonTrace struct {
+	Workflow string        `json:"workflow"`
+	Platform string        `json:"platform"`
+	Makespan float64       `json:"makespan"`
+	Tasks    []*TaskRecord `json:"tasks"`
+	Events   []Event       `json:"events"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (t *Trace) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonTrace{
+		Workflow: t.WorkflowName,
+		Platform: t.PlatformName,
+		Makespan: t.makespan,
+		Tasks:    t.records,
+		Events:   t.events,
+	})
+}
+
+// Save writes the trace as indented JSON.
+func (t *Trace) Save(path string) error {
+	raw, err := t.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	var buf []byte
+	{
+		var pretty map[string]any
+		if err := json.Unmarshal(raw, &pretty); err != nil {
+			return err
+		}
+		buf, err = json.MarshalIndent(pretty, "", "  ")
+		if err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

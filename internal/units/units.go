@@ -1,0 +1,251 @@
+// Package units provides the physical quantities used throughout the
+// simulator: data sizes in bytes, bandwidths in bytes per second, compute
+// work in floating-point operations, and compute speed in flops per second.
+//
+// All quantities are plain float64 wrappers so arithmetic stays cheap and the
+// types document intent at API boundaries. Simulated time is a float64
+// number of seconds everywhere in this module (the discrete-event kernel in
+// internal/sim defines the clock).
+package units
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Bytes is a data size. Negative sizes are invalid everywhere.
+type Bytes float64
+
+// Common data-size units. Binary (power-of-two) prefixes are used for the
+// *iB constants, decimal prefixes for KB/MB/GB/TB, matching the mixture the
+// paper uses (file sizes in MiB, bandwidths in MB/s and GB/s).
+const (
+	B   Bytes = 1
+	KiB Bytes = 1 << 10
+	MiB Bytes = 1 << 20
+	GiB Bytes = 1 << 30
+	TiB Bytes = 1 << 40
+
+	KB Bytes = 1e3
+	MB Bytes = 1e6
+	GB Bytes = 1e9
+	TB Bytes = 1e12
+)
+
+// Bandwidth is a data rate in bytes per second.
+type Bandwidth float64
+
+// Common bandwidth units (decimal, as vendors and the paper's Table I use).
+const (
+	Bps  Bandwidth = 1
+	KBps Bandwidth = 1e3
+	MBps Bandwidth = 1e6
+	GBps Bandwidth = 1e9
+)
+
+// Flops is an amount of compute work in floating-point operations.
+type Flops float64
+
+// FlopRate is a compute speed in floating-point operations per second.
+type FlopRate float64
+
+// Common compute-speed units.
+const (
+	FlopPerSec  FlopRate = 1
+	MFlopPerSec FlopRate = 1e6
+	GFlopPerSec FlopRate = 1e9
+	TFlopPerSec FlopRate = 1e12
+)
+
+// Seconds converts a size and a rate to a transfer duration in seconds.
+// A non-positive rate yields +Inf, which the flow model treats as "never
+// completes" and surfaces as an error at a higher level.
+func (b Bytes) Seconds(rate Bandwidth) float64 {
+	if rate <= 0 {
+		return math.Inf(1)
+	}
+	return float64(b) / float64(rate)
+}
+
+// Seconds converts compute work and a speed to a duration in seconds.
+func (f Flops) Seconds(rate FlopRate) float64 {
+	if rate <= 0 {
+		return math.Inf(1)
+	}
+	return float64(f) / float64(rate)
+}
+
+// Times scales a size by a dimensionless factor.
+func (b Bytes) Times(x float64) Bytes { return Bytes(float64(b) * x) }
+
+// String formats a size with a binary prefix, e.g. "32.0 MiB".
+func (b Bytes) String() string {
+	v := float64(b)
+	abs := math.Abs(v)
+	switch {
+	case abs >= float64(TiB):
+		return fmt.Sprintf("%.2f TiB", v/float64(TiB))
+	case abs >= float64(GiB):
+		return fmt.Sprintf("%.2f GiB", v/float64(GiB))
+	case abs >= float64(MiB):
+		return fmt.Sprintf("%.2f MiB", v/float64(MiB))
+	case abs >= float64(KiB):
+		return fmt.Sprintf("%.2f KiB", v/float64(KiB))
+	default:
+		return fmt.Sprintf("%.0f B", v)
+	}
+}
+
+// String formats a bandwidth with a decimal prefix, e.g. "800.0 MB/s".
+func (bw Bandwidth) String() string {
+	v := float64(bw)
+	abs := math.Abs(v)
+	switch {
+	case abs >= float64(GBps):
+		return fmt.Sprintf("%.2f GB/s", v/float64(GBps))
+	case abs >= float64(MBps):
+		return fmt.Sprintf("%.2f MB/s", v/float64(MBps))
+	case abs >= float64(KBps):
+		return fmt.Sprintf("%.2f KB/s", v/float64(KBps))
+	default:
+		return fmt.Sprintf("%.0f B/s", v)
+	}
+}
+
+// String formats compute work, e.g. "11.30 TFlop".
+func (f Flops) String() string {
+	v := float64(f)
+	abs := math.Abs(v)
+	switch {
+	case abs >= 1e12:
+		return fmt.Sprintf("%.2f TFlop", v/1e12)
+	case abs >= 1e9:
+		return fmt.Sprintf("%.2f GFlop", v/1e9)
+	case abs >= 1e6:
+		return fmt.Sprintf("%.2f MFlop", v/1e6)
+	default:
+		return fmt.Sprintf("%.0f Flop", v)
+	}
+}
+
+// String formats a compute speed, e.g. "36.80 GFlop/s".
+func (r FlopRate) String() string {
+	v := float64(r)
+	abs := math.Abs(v)
+	switch {
+	case abs >= 1e12:
+		return fmt.Sprintf("%.2f TFlop/s", v/1e12)
+	case abs >= 1e9:
+		return fmt.Sprintf("%.2f GFlop/s", v/1e9)
+	case abs >= 1e6:
+		return fmt.Sprintf("%.2f MFlop/s", v/1e6)
+	default:
+		return fmt.Sprintf("%.0f Flop/s", v)
+	}
+}
+
+var sizeSuffixes = []struct {
+	suffix string
+	unit   Bytes
+}{
+	{"TiB", TiB}, {"GiB", GiB}, {"MiB", MiB}, {"KiB", KiB},
+	{"TB", TB}, {"GB", GB}, {"MB", MB}, {"KB", KB}, {"B", B},
+}
+
+// ParseBytes parses strings like "32MiB", "1.5 GB", "1024", "512 B".
+// A bare number is bytes.
+func ParseBytes(s string) (Bytes, error) {
+	t := strings.TrimSpace(s)
+	for _, su := range sizeSuffixes {
+		if strings.HasSuffix(t, su.suffix) {
+			num := strings.TrimSpace(strings.TrimSuffix(t, su.suffix))
+			v, err := strconv.ParseFloat(num, 64)
+			if err != nil {
+				return 0, fmt.Errorf("units: parse size %q: %v", s, err)
+			}
+			if v < 0 {
+				return 0, fmt.Errorf("units: negative size %q", s)
+			}
+			return Bytes(v) * su.unit, nil
+		}
+	}
+	v, err := strconv.ParseFloat(t, 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: parse size %q: %v", s, err)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("units: negative size %q", s)
+	}
+	return Bytes(v), nil
+}
+
+var bwSuffixes = []struct {
+	suffix string
+	unit   Bandwidth
+}{
+	{"GB/s", GBps}, {"MB/s", MBps}, {"KB/s", KBps}, {"B/s", Bps},
+	{"GBps", GBps}, {"MBps", MBps}, {"KBps", KBps}, {"Bps", Bps},
+}
+
+// ParseBandwidth parses strings like "800MB/s", "6.5 GB/s", "950 MBps".
+// A bare number is bytes per second.
+func ParseBandwidth(s string) (Bandwidth, error) {
+	t := strings.TrimSpace(s)
+	for _, su := range bwSuffixes {
+		if strings.HasSuffix(t, su.suffix) {
+			num := strings.TrimSpace(strings.TrimSuffix(t, su.suffix))
+			v, err := strconv.ParseFloat(num, 64)
+			if err != nil {
+				return 0, fmt.Errorf("units: parse bandwidth %q: %v", s, err)
+			}
+			if v < 0 {
+				return 0, fmt.Errorf("units: negative bandwidth %q", s)
+			}
+			return Bandwidth(v) * su.unit, nil
+		}
+	}
+	v, err := strconv.ParseFloat(t, 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: parse bandwidth %q: %v", s, err)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("units: negative bandwidth %q", s)
+	}
+	return Bandwidth(v), nil
+}
+
+// ParseFlopRate parses strings like "36.8 GFlop/s", "49.12GF/s", "1e9".
+func ParseFlopRate(s string) (FlopRate, error) {
+	t := strings.TrimSpace(s)
+	suffixes := []struct {
+		suffix string
+		unit   FlopRate
+	}{
+		{"TFlop/s", TFlopPerSec}, {"GFlop/s", GFlopPerSec}, {"MFlop/s", MFlopPerSec},
+		{"TF/s", TFlopPerSec}, {"GF/s", GFlopPerSec}, {"MF/s", MFlopPerSec},
+		{"Flop/s", FlopPerSec},
+	}
+	for _, su := range suffixes {
+		if strings.HasSuffix(t, su.suffix) {
+			num := strings.TrimSpace(strings.TrimSuffix(t, su.suffix))
+			v, err := strconv.ParseFloat(num, 64)
+			if err != nil {
+				return 0, fmt.Errorf("units: parse flop rate %q: %v", s, err)
+			}
+			if v < 0 {
+				return 0, fmt.Errorf("units: negative flop rate %q", s)
+			}
+			return FlopRate(v) * su.unit, nil
+		}
+	}
+	v, err := strconv.ParseFloat(t, 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: parse flop rate %q: %v", s, err)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("units: negative flop rate %q", s)
+	}
+	return FlopRate(v), nil
+}

@@ -1,0 +1,244 @@
+package units
+
+import (
+	"math"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+func TestByteConstants(t *testing.T) {
+	if MiB != 1048576 {
+		t.Errorf("MiB = %v, want 1048576", float64(MiB))
+	}
+	if GiB != 1024*MiB {
+		t.Errorf("GiB = %v, want 1024 MiB", float64(GiB))
+	}
+	if MB != 1e6 || GB != 1e9 {
+		t.Errorf("decimal constants wrong: MB=%v GB=%v", float64(MB), float64(GB))
+	}
+}
+
+func TestBytesSeconds(t *testing.T) {
+	tests := []struct {
+		size Bytes
+		rate Bandwidth
+		want float64
+	}{
+		{100 * MB, 100 * MBps, 1.0},
+		{32 * MiB, 800 * MBps, float64(32*MiB) / 800e6},
+		{0, 1 * GBps, 0},
+		{1 * GB, 6.5 * GBps, 1e9 / 6.5e9},
+	}
+	for _, tt := range tests {
+		got := tt.size.Seconds(tt.rate)
+		if math.Abs(got-tt.want) > 1e-12*math.Max(1, tt.want) {
+			t.Errorf("(%v).Seconds(%v) = %v, want %v", tt.size, tt.rate, got, tt.want)
+		}
+	}
+}
+
+func TestBytesSecondsZeroRate(t *testing.T) {
+	if got := (1 * MB).Seconds(0); !math.IsInf(got, 1) {
+		t.Errorf("Seconds(0) = %v, want +Inf", got)
+	}
+	if got := (1 * MB).Seconds(-5); !math.IsInf(got, 1) {
+		t.Errorf("Seconds(-5) = %v, want +Inf", got)
+	}
+}
+
+func TestFlopsSeconds(t *testing.T) {
+	work := Flops(36.8e9 * 10) // 10 seconds at one Cori core
+	if got := work.Seconds(36.8 * GFlopPerSec); math.Abs(got-10) > 1e-9 {
+		t.Errorf("Seconds = %v, want 10", got)
+	}
+	if got := work.Seconds(0); !math.IsInf(got, 1) {
+		t.Errorf("Seconds(0) = %v, want +Inf", got)
+	}
+}
+
+func TestParseBytes(t *testing.T) {
+	tests := []struct {
+		in   string
+		want Bytes
+	}{
+		{"32MiB", 32 * MiB},
+		{"16 MiB", 16 * MiB},
+		{"1.5 GB", 1.5 * GB},
+		{"1024", 1024},
+		{"512 B", 512},
+		{"2TiB", 2 * TiB},
+		{"67GB", 67 * GB},
+		{"3KB", 3 * KB},
+	}
+	for _, tt := range tests {
+		got, err := ParseBytes(tt.in)
+		if err != nil {
+			t.Errorf("ParseBytes(%q) error: %v", tt.in, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("ParseBytes(%q) = %v, want %v", tt.in, float64(got), float64(tt.want))
+		}
+	}
+}
+
+func TestParseBytesErrors(t *testing.T) {
+	for _, in := range []string{"", "abc", "12XiB", "-5MB", "--3", "MiB"} {
+		if _, err := ParseBytes(in); err == nil {
+			t.Errorf("ParseBytes(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestParseBandwidth(t *testing.T) {
+	tests := []struct {
+		in   string
+		want Bandwidth
+	}{
+		{"800MB/s", 800 * MBps},
+		{"6.5 GB/s", 6.5 * GBps},
+		{"950 MBps", 950 * MBps},
+		{"100MB/s", 100 * MBps},
+		{"42", 42},
+	}
+	for _, tt := range tests {
+		got, err := ParseBandwidth(tt.in)
+		if err != nil {
+			t.Errorf("ParseBandwidth(%q) error: %v", tt.in, err)
+			continue
+		}
+		if math.Abs(float64(got-tt.want)) > 1e-9 {
+			t.Errorf("ParseBandwidth(%q) = %v, want %v", tt.in, float64(got), float64(tt.want))
+		}
+	}
+}
+
+func TestParseBandwidthErrors(t *testing.T) {
+	for _, in := range []string{"", "fast", "-1GB/s", "GB/s"} {
+		if _, err := ParseBandwidth(in); err == nil {
+			t.Errorf("ParseBandwidth(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestParseFlopRate(t *testing.T) {
+	tests := []struct {
+		in   string
+		want FlopRate
+	}{
+		{"36.8 GFlop/s", 36.8 * GFlopPerSec},
+		{"49.12GFlop/s", 49.12 * GFlopPerSec},
+		{"2 TF/s", 2 * TFlopPerSec},
+		{"1e9", 1e9},
+	}
+	for _, tt := range tests {
+		got, err := ParseFlopRate(tt.in)
+		if err != nil {
+			t.Errorf("ParseFlopRate(%q) error: %v", tt.in, err)
+			continue
+		}
+		if math.Abs(float64(got-tt.want)) > 1e-3 {
+			t.Errorf("ParseFlopRate(%q) = %v, want %v", tt.in, float64(got), float64(tt.want))
+		}
+	}
+	if _, err := ParseFlopRate("quick"); err == nil {
+		t.Error("ParseFlopRate(quick) succeeded, want error")
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	tests := []struct {
+		got, want string
+	}{
+		{(32 * MiB).String(), "32.00 MiB"},
+		{(800 * MBps).String(), "800.00 MB/s"},
+		{(6.5 * GBps).String(), "6.50 GB/s"},
+		{Flops(11.3e12).String(), "11.30 TFlop"},
+		{(36.8 * GFlopPerSec).String(), "36.80 GFlop/s"},
+		{Bytes(100).String(), "100 B"},
+	}
+	for _, tt := range tests {
+		if tt.got != tt.want {
+			t.Errorf("String() = %q, want %q", tt.got, tt.want)
+		}
+	}
+}
+
+// Property: formatting a parsed value and re-parsing it loses at most
+// rounding precision, and parsing is scale-consistent.
+func TestParseBytesScalesQuick(t *testing.T) {
+	f := func(raw uint32) bool {
+		v := float64(raw%100000) / 7.0
+		mib, err1 := ParseBytes(formatFloat(v) + "MiB")
+		b, err2 := ParseBytes(formatFloat(v * float64(MiB)))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(float64(mib-b)) <= 1e-6*math.Max(1, float64(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}
+
+func TestStringAllScales(t *testing.T) {
+	cases := []struct{ got, want string }{
+		{(2 * TiB).String(), "2.00 TiB"},
+		{(3 * GiB).String(), "3.00 GiB"},
+		{(5 * KiB).String(), "5.00 KiB"},
+		{(7 * KBps).String(), "7.00 KB/s"},
+		{Bandwidth(12).String(), "12 B/s"},
+		{Flops(2e12).String(), "2.00 TFlop"},
+		{Flops(5e6).String(), "5.00 MFlop"},
+		{Flops(12).String(), "12 Flop"},
+		{FlopRate(3e12).String(), "3.00 TFlop/s"},
+		{FlopRate(2e6).String(), "2.00 MFlop/s"},
+		{FlopRate(9).String(), "9 Flop/s"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("String() = %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+func TestParseBytesAllSuffixes(t *testing.T) {
+	cases := map[string]Bytes{
+		"1TiB": TiB, "1KiB": KiB, "2TB": 2 * TB, "3GB": 3 * GB,
+	}
+	for in, want := range cases {
+		got, err := ParseBytes(in)
+		if err != nil || got != want {
+			t.Errorf("ParseBytes(%q) = %v, %v; want %v", in, float64(got), err, float64(want))
+		}
+	}
+}
+
+func TestTimesScaling(t *testing.T) {
+	if (100 * MB).Times(0.3) != 30*MB {
+		t.Error("Times scaling wrong")
+	}
+}
+
+func TestParseFlopRateMoreSuffixes(t *testing.T) {
+	cases := map[string]FlopRate{
+		"5 MFlop/s": 5 * MFlopPerSec,
+		"2GF/s":     2 * GFlopPerSec,
+		"1 MF/s":    1 * MFlopPerSec,
+		"4 Flop/s":  4,
+	}
+	for in, want := range cases {
+		got, err := ParseFlopRate(in)
+		if err != nil || got != want {
+			t.Errorf("ParseFlopRate(%q) = %v, %v; want %v", in, float64(got), err, float64(want))
+		}
+	}
+	if _, err := ParseFlopRate("-3 GF/s"); err == nil {
+		t.Error("negative flop rate accepted")
+	}
+}

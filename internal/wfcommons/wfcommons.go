@@ -1,0 +1,325 @@
+// Package wfcommons reads and writes the WfCommons workflow-trace format
+// (wfformat), the schema the WorkflowHub/WfCommons project publishes real
+// workflow execution traces in. The paper's 1000Genomes case study starts
+// from exactly such a trace ("we leverage execution traces of the
+// 1000Genomes workflow obtained from the WorkflowHub project").
+//
+// The supported subset is the common core of wfformat 1.x: a workflow with
+// a task list, each task carrying a name (category), a unique id, a
+// measured runtime in seconds, a core count, and a file list with
+// input/output links and sizes in bytes. Task dependencies are taken from
+// the file graph (a consumer of a file depends on its producer); explicit
+// parents/children arrays, when present, are validated against the file
+// graph rather than trusted.
+//
+// Imported runtimes are converted to platform-independent work the same
+// way the paper calibrates real observations: through Eq. 4 with a
+// per-category λ_io and the reference machine's core speed (see Options).
+package wfcommons
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"bbwfsim/internal/calib"
+	"bbwfsim/internal/units"
+	"bbwfsim/internal/workflow"
+)
+
+// Options controls the trace → workflow conversion.
+type Options struct {
+	// RefSpeed is the per-core speed of the machine the trace was
+	// collected on; runtimes convert to work at this speed. Required.
+	RefSpeed units.FlopRate
+	// LambdaIO maps task categories to their observed I/O time fraction;
+	// categories without an entry use DefaultLambdaIO. The conversion
+	// applies Eq. 4: work = cores · (1 − λ) · runtime · RefSpeed.
+	LambdaIO map[string]float64
+	// DefaultLambdaIO applies to categories missing from LambdaIO.
+	DefaultLambdaIO float64
+	// Alpha maps task categories to Amdahl fractions for the generated
+	// tasks (default 0, the paper's perfect-speedup assumption).
+	Alpha map[string]float64
+}
+
+func (o *Options) validate() error {
+	if o.RefSpeed <= 0 {
+		return fmt.Errorf("wfcommons: RefSpeed must be positive, got %v", o.RefSpeed)
+	}
+	check := func(name string, v float64) error {
+		if v < 0 || v >= 1 {
+			return fmt.Errorf("wfcommons: λ_io %g for %q outside [0,1)", v, name)
+		}
+		return nil
+	}
+	if err := check("default", o.DefaultLambdaIO); err != nil {
+		return err
+	}
+	for k, v := range o.LambdaIO {
+		if err := check(k, v); err != nil {
+			return err
+		}
+	}
+	for k, v := range o.Alpha {
+		if v < 0 || v > 1 {
+			return fmt.Errorf("wfcommons: α %g for %q outside [0,1]", v, k)
+		}
+	}
+	return nil
+}
+
+// Trace mirrors the wfformat JSON layout (supported subset).
+type Trace struct {
+	Name          string   `json:"name"`
+	SchemaVersion string   `json:"schemaVersion,omitempty"`
+	Workflow      Body     `json:"workflow"`
+	Author        *Author  `json:"author,omitempty"`
+	WMS           *WMSInfo `json:"wms,omitempty"`
+}
+
+// Author identifies the trace creator.
+type Author struct {
+	Name  string `json:"name,omitempty"`
+	Email string `json:"email,omitempty"`
+}
+
+// WMSInfo identifies the workflow management system that ran the trace.
+type WMSInfo struct {
+	Name    string `json:"name,omitempty"`
+	Version string `json:"version,omitempty"`
+}
+
+// Body is the workflow element.
+type Body struct {
+	Tasks []Task `json:"tasks"`
+}
+
+// Task is one trace task.
+type Task struct {
+	Name             string   `json:"name"`
+	ID               string   `json:"id"`
+	Category         string   `json:"category,omitempty"`
+	RuntimeInSeconds float64  `json:"runtimeInSeconds"`
+	Cores            int      `json:"cores,omitempty"`
+	MemoryInBytes    float64  `json:"memoryInBytes,omitempty"`
+	Files            []File   `json:"files,omitempty"`
+	Parents          []string `json:"parents,omitempty"`
+	Children         []string `json:"children,omitempty"`
+}
+
+// File is one file reference inside a task.
+type File struct {
+	Name        string  `json:"name"`
+	SizeInBytes float64 `json:"sizeInBytes"`
+	Link        string  `json:"link"` // "input" or "output"
+}
+
+// category returns the task's category label: the explicit category when
+// present, else the name.
+func (t *Task) category() string {
+	if t.Category != "" {
+		return t.Category
+	}
+	return t.Name
+}
+
+// Parse decodes a wfformat trace.
+func Parse(data []byte) (*Trace, error) {
+	var tr Trace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return nil, fmt.Errorf("wfcommons: decode: %v", err)
+	}
+	if len(tr.Workflow.Tasks) == 0 {
+		return nil, fmt.Errorf("wfcommons: trace %q has no tasks", tr.Name)
+	}
+	return &tr, nil
+}
+
+// Load reads and decodes a trace file.
+func Load(path string) (*Trace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("wfcommons: %v", err)
+	}
+	return Parse(data)
+}
+
+// ToWorkflow converts the trace into a simulator workflow.
+func (tr *Trace) ToWorkflow(opts Options) (*workflow.Workflow, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	w := workflow.New(tr.Name)
+
+	// First pass: register every file once, checking size consistency.
+	sizes := map[string]float64{}
+	for _, t := range tr.Workflow.Tasks {
+		for _, f := range t.Files {
+			if f.Name == "" {
+				return nil, fmt.Errorf("wfcommons: task %q has a file without a name", t.ID)
+			}
+			if f.SizeInBytes < 0 {
+				return nil, fmt.Errorf("wfcommons: file %q has negative size", f.Name)
+			}
+			if prev, seen := sizes[f.Name]; seen {
+				if prev != f.SizeInBytes {
+					return nil, fmt.Errorf("wfcommons: file %q has inconsistent sizes (%g vs %g)",
+						f.Name, prev, f.SizeInBytes)
+				}
+				continue
+			}
+			sizes[f.Name] = f.SizeInBytes
+			if _, err := w.AddFile(f.Name, units.Bytes(f.SizeInBytes)); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Second pass: tasks. wfformat lists tasks in an arbitrary order, but
+	// workflow.AddTask enforces single producers regardless of order, and
+	// dependencies come from the file wiring.
+	ids := map[string]bool{}
+	for _, t := range tr.Workflow.Tasks {
+		if t.ID == "" {
+			return nil, fmt.Errorf("wfcommons: task %q has no id", t.Name)
+		}
+		if ids[t.ID] {
+			return nil, fmt.Errorf("wfcommons: duplicate task id %q", t.ID)
+		}
+		ids[t.ID] = true
+		if t.RuntimeInSeconds < 0 {
+			return nil, fmt.Errorf("wfcommons: task %q has negative runtime", t.ID)
+		}
+		cat := t.category()
+		lambda, ok := opts.LambdaIO[cat]
+		if !ok {
+			lambda = opts.DefaultLambdaIO
+		}
+		cores := t.Cores
+		if cores <= 0 {
+			cores = 1
+		}
+		obs := calib.Observation{
+			TaskName: cat,
+			Cores:    cores,
+			Time:     t.RuntimeInSeconds,
+			LambdaIO: lambda,
+			Alpha:    0, // Eq. 4, as the paper calibrates
+		}
+		work, err := obs.Work(opts.RefSpeed)
+		if err != nil {
+			return nil, fmt.Errorf("wfcommons: task %q: %v", t.ID, err)
+		}
+		var inputs, outputs []string
+		for _, f := range t.Files {
+			switch f.Link {
+			case "input":
+				inputs = append(inputs, f.Name)
+			case "output":
+				outputs = append(outputs, f.Name)
+			default:
+				return nil, fmt.Errorf("wfcommons: task %q file %q has link %q (want input or output)",
+					t.ID, f.Name, f.Link)
+			}
+		}
+		if t.MemoryInBytes < 0 {
+			return nil, fmt.Errorf("wfcommons: task %q has negative memory", t.ID)
+		}
+		if _, err := w.AddTask(workflow.TaskSpec{
+			ID:       t.ID,
+			Name:     cat,
+			Work:     work,
+			Cores:    cores,
+			Memory:   units.Bytes(t.MemoryInBytes),
+			Alpha:    opts.Alpha[cat],
+			LambdaIO: lambda,
+			Inputs:   inputs,
+			Outputs:  outputs,
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	// Validate explicit parent links, when present, against the file
+	// graph: every declared parent must actually produce an input.
+	for _, t := range tr.Workflow.Tasks {
+		if len(t.Parents) == 0 {
+			continue
+		}
+		task := w.Task(t.ID)
+		actual := map[string]bool{}
+		for _, p := range task.Parents() {
+			actual[p.ID()] = true
+		}
+		for _, pid := range t.Parents {
+			if !actual[pid] {
+				return nil, fmt.Errorf("wfcommons: task %q declares parent %q not implied by its files",
+					t.ID, pid)
+			}
+		}
+	}
+	return w, nil
+}
+
+// FromWorkflow converts a simulator workflow back into a wfformat trace,
+// predicting each task's runtime on the reference machine via the inverse
+// calibration (calib.PredictTime).
+func FromWorkflow(w *workflow.Workflow, refSpeed units.FlopRate) (*Trace, error) {
+	if refSpeed <= 0 {
+		return nil, fmt.Errorf("wfcommons: RefSpeed must be positive, got %v", refSpeed)
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	tr := &Trace{
+		Name:          w.Name(),
+		SchemaVersion: "1.4",
+		WMS:           &WMSInfo{Name: "bbwfsim"},
+	}
+	for _, t := range w.Tasks() {
+		seq := float64(t.Work()) / float64(refSpeed)
+		rt, err := calib.PredictTime(seq, t.Cores(), t.LambdaIO(), t.Alpha())
+		if err != nil {
+			return nil, fmt.Errorf("wfcommons: task %q: %v", t.ID(), err)
+		}
+		jt := Task{
+			Name:             t.Name(),
+			ID:               t.ID(),
+			RuntimeInSeconds: rt,
+			Cores:            t.Cores(),
+			MemoryInBytes:    float64(t.Memory()),
+		}
+		for _, f := range t.Inputs() {
+			jt.Files = append(jt.Files, File{Name: f.ID(), SizeInBytes: float64(f.Size()), Link: "input"})
+		}
+		for _, f := range t.Outputs() {
+			jt.Files = append(jt.Files, File{Name: f.ID(), SizeInBytes: float64(f.Size()), Link: "output"})
+		}
+		for _, p := range t.Parents() {
+			jt.Parents = append(jt.Parents, p.ID())
+		}
+		for _, c := range t.Children() {
+			jt.Children = append(jt.Children, c.ID())
+		}
+		tr.Workflow.Tasks = append(tr.Workflow.Tasks, jt)
+	}
+	return tr, nil
+}
+
+// Marshal encodes the trace as indented JSON.
+func (tr *Trace) Marshal() ([]byte, error) {
+	return json.MarshalIndent(tr, "", "  ")
+}
+
+// Save writes the trace to a file.
+func (tr *Trace) Save(path string) error {
+	data, err := tr.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

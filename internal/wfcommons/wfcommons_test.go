@@ -1,0 +1,260 @@
+package wfcommons
+
+import (
+	"math"
+	"testing"
+
+	"bbwfsim/internal/genomes"
+	"bbwfsim/internal/units"
+)
+
+const sampleTrace = `{
+  "name": "toy-pipeline",
+  "schemaVersion": "1.4",
+  "workflow": {
+    "tasks": [
+      {
+        "name": "split", "id": "ID01", "runtimeInSeconds": 10, "cores": 1,
+        "files": [
+          {"name": "input.dat", "sizeInBytes": 1000000, "link": "input"},
+          {"name": "a.dat", "sizeInBytes": 400000, "link": "output"},
+          {"name": "b.dat", "sizeInBytes": 600000, "link": "output"}
+        ],
+        "children": ["ID02", "ID03"]
+      },
+      {
+        "name": "process", "id": "ID02", "runtimeInSeconds": 20, "cores": 4,
+        "files": [
+          {"name": "a.dat", "sizeInBytes": 400000, "link": "input"},
+          {"name": "a.out", "sizeInBytes": 100000, "link": "output"}
+        ],
+        "parents": ["ID01"]
+      },
+      {
+        "name": "process", "id": "ID03", "runtimeInSeconds": 22, "cores": 4,
+        "files": [
+          {"name": "b.dat", "sizeInBytes": 600000, "link": "input"},
+          {"name": "b.out", "sizeInBytes": 150000, "link": "output"}
+        ],
+        "parents": ["ID01"]
+      },
+      {
+        "name": "merge", "id": "ID04", "runtimeInSeconds": 5, "cores": 1,
+        "files": [
+          {"name": "a.out", "sizeInBytes": 100000, "link": "input"},
+          {"name": "b.out", "sizeInBytes": 150000, "link": "input"},
+          {"name": "final.out", "sizeInBytes": 50000, "link": "output"}
+        ],
+        "parents": ["ID02", "ID03"]
+      }
+    ]
+  }
+}`
+
+var opts = Options{
+	RefSpeed:        1 * units.GFlopPerSec,
+	LambdaIO:        map[string]float64{"process": 0.25},
+	DefaultLambdaIO: 0.1,
+}
+
+func TestParseAndConvert(t *testing.T) {
+	tr, err := Parse([]byte(sampleTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != "toy-pipeline" || len(tr.Workflow.Tasks) != 4 {
+		t.Fatalf("trace shape wrong: %+v", tr)
+	}
+	w, err := tr.ToWorkflow(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Tasks()) != 4 || len(w.Files()) != 6 {
+		t.Fatalf("workflow shape wrong: %d tasks %d files", len(w.Tasks()), len(w.Files()))
+	}
+	// Dependencies from the file graph.
+	merge := w.Task("ID04")
+	if got := len(merge.Parents()); got != 2 {
+		t.Errorf("merge parents = %d, want 2", got)
+	}
+	// Work via Eq. 4: process ID02 = 4 · (1−0.25) · 20 s · 1 GF/s.
+	want := 4 * 0.75 * 20 * 1e9
+	if got := float64(w.Task("ID02").Work()); math.Abs(got-want) > 1 {
+		t.Errorf("ID02 work = %g, want %g", got, want)
+	}
+	// Default λ for unmapped categories: split = 1 · 0.9 · 10 · 1e9.
+	if got := float64(w.Task("ID01").Work()); math.Abs(got-9e9) > 1 {
+		t.Errorf("ID01 work = %g, want 9e9", got)
+	}
+	if w.Task("ID02").LambdaIO() != 0.25 {
+		t.Errorf("λ not propagated")
+	}
+	if !w.File("input.dat").IsInput() {
+		t.Error("input.dat should be a workflow input")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse([]byte("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Parse([]byte(`{"name":"empty","workflow":{"tasks":[]}}`)); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestConvertValidation(t *testing.T) {
+	tr, err := Parse([]byte(sampleTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []Options{
+		{}, // no RefSpeed
+		{RefSpeed: 1e9, DefaultLambdaIO: 1.0},
+		{RefSpeed: 1e9, LambdaIO: map[string]float64{"x": -0.1}},
+		{RefSpeed: 1e9, Alpha: map[string]float64{"x": 2}},
+	}
+	for i, o := range cases {
+		if _, err := tr.ToWorkflow(o); err == nil {
+			t.Errorf("case %d: invalid options accepted", i)
+		}
+	}
+}
+
+func TestBadTraces(t *testing.T) {
+	cases := []string{
+		// duplicate id
+		`{"name":"x","workflow":{"tasks":[
+		  {"name":"a","id":"T","runtimeInSeconds":1,"files":[]},
+		  {"name":"b","id":"T","runtimeInSeconds":1,"files":[]}]}}`,
+		// negative runtime
+		`{"name":"x","workflow":{"tasks":[{"name":"a","id":"T","runtimeInSeconds":-1}]}}`,
+		// inconsistent sizes
+		`{"name":"x","workflow":{"tasks":[
+		  {"name":"a","id":"T1","runtimeInSeconds":1,"files":[{"name":"f","sizeInBytes":10,"link":"output"}]},
+		  {"name":"b","id":"T2","runtimeInSeconds":1,"files":[{"name":"f","sizeInBytes":20,"link":"input"}]}]}}`,
+		// bad link
+		`{"name":"x","workflow":{"tasks":[{"name":"a","id":"T","runtimeInSeconds":1,
+		  "files":[{"name":"f","sizeInBytes":10,"link":"sideways"}]}]}}`,
+		// two producers
+		`{"name":"x","workflow":{"tasks":[
+		  {"name":"a","id":"T1","runtimeInSeconds":1,"files":[{"name":"f","sizeInBytes":10,"link":"output"}]},
+		  {"name":"b","id":"T2","runtimeInSeconds":1,"files":[{"name":"f","sizeInBytes":10,"link":"output"}]}]}}`,
+		// declared parent not implied by files
+		`{"name":"x","workflow":{"tasks":[
+		  {"name":"a","id":"T1","runtimeInSeconds":1,"files":[]},
+		  {"name":"b","id":"T2","runtimeInSeconds":1,"parents":["T1"],"files":[]}]}}`,
+	}
+	for i, c := range cases {
+		tr, err := Parse([]byte(c))
+		if err != nil {
+			continue // parse-level rejection also fine
+		}
+		if _, err := tr.ToWorkflow(opts); err == nil {
+			t.Errorf("case %d: bad trace converted", i)
+		}
+	}
+}
+
+func TestRoundTripThroughTraceFormat(t *testing.T) {
+	// Export a generated 1000Genomes instance and re-import it.
+	orig := genomes.MustNew(genomes.Params{Chromosomes: 2})
+	speed := 36.80 * units.GFlopPerSec
+	tr, err := FromWorkflow(orig, speed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != orig.Name() || len(tr.Workflow.Tasks) != len(orig.Tasks()) {
+		t.Fatalf("export shape wrong")
+	}
+	lambdas := map[string]float64{
+		"individuals":       genomes.LambdaIndividuals,
+		"individuals_merge": genomes.LambdaMerge,
+		"sifting":           genomes.LambdaSifting,
+		"populations":       genomes.LambdaPopulations,
+		"mutation_overlap":  genomes.LambdaOverlap,
+		"frequency":         genomes.LambdaFrequency,
+	}
+	back, err := tr.ToWorkflow(Options{RefSpeed: speed, LambdaIO: lambdas})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Tasks()) != len(orig.Tasks()) || len(back.Files()) != len(orig.Files()) {
+		t.Fatalf("round trip changed shape")
+	}
+	// Work must survive the runtime round trip (PredictTime then Eq. 4).
+	for _, task := range orig.Tasks() {
+		b := back.Task(task.ID())
+		if b == nil {
+			t.Fatalf("task %q lost", task.ID())
+		}
+		if math.Abs(float64(b.Work()-task.Work())) > 1e-6*float64(task.Work()) {
+			t.Errorf("task %q work changed: %v → %v", task.ID(), task.Work(), b.Work())
+		}
+		if len(b.Inputs()) != len(task.Inputs()) || len(b.Outputs()) != len(task.Outputs()) {
+			t.Errorf("task %q wiring changed", task.ID())
+		}
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	orig := genomes.MustNew(genomes.Params{Chromosomes: 1})
+	tr, err := FromWorkflow(orig, 36.80*units.GFlopPerSec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/trace.json"
+	if err := tr.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Workflow.Tasks) != len(tr.Workflow.Tasks) {
+		t.Error("save/load changed task count")
+	}
+	if _, err := Load(t.TempDir() + "/missing.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestFromWorkflowValidation(t *testing.T) {
+	orig := genomes.MustNew(genomes.Params{Chromosomes: 1})
+	if _, err := FromWorkflow(orig, 0); err == nil {
+		t.Error("zero RefSpeed accepted")
+	}
+}
+
+func TestMemoryInBytesRoundTrip(t *testing.T) {
+	doc := `{"name":"m","workflow":{"tasks":[
+	  {"name":"big","id":"T1","runtimeInSeconds":5,"cores":2,"memoryInBytes":8589934592,"files":[]}]}}`
+	tr, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := tr.ToWorkflow(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Task("T1").Memory(); got != 8*units.GiB {
+		t.Errorf("Memory = %v, want 8 GiB", got)
+	}
+	back, err := FromWorkflow(w, opts.RefSpeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Workflow.Tasks[0].MemoryInBytes != 8589934592 {
+		t.Error("memoryInBytes lost on export")
+	}
+	// Negative memory rejected.
+	bad := `{"name":"m","workflow":{"tasks":[
+	  {"name":"x","id":"T1","runtimeInSeconds":5,"memoryInBytes":-1,"files":[]}]}}`
+	tr2, err := Parse([]byte(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr2.ToWorkflow(opts); err == nil {
+		t.Error("negative memoryInBytes accepted")
+	}
+}

@@ -1,0 +1,518 @@
+// Package workflow models scientific workflows as directed acyclic graphs:
+// vertices are tasks, and edges are induced by the files tasks produce and
+// consume, exactly as the paper's simulator defines its input ("the workflow
+// description is a graph in which vertices are tasks and edges are induced
+// by input/output files of these tasks").
+//
+// Each task carries its total sequential compute work (in flops, excluding
+// I/O), an Amdahl non-parallelizable fraction, a requested core count, and
+// the observed fraction of time spent in I/O (λ_io) used by the calibration
+// model in internal/calib.
+package workflow
+
+import (
+	"fmt"
+	"sort"
+
+	"bbwfsim/internal/units"
+)
+
+// Kind distinguishes ordinary compute tasks from data staging tasks.
+type Kind string
+
+const (
+	// KindCompute is a normal task: read inputs, compute, write outputs.
+	KindCompute Kind = "compute"
+	// KindStageIn is a data staging task: it sequentially copies workflow
+	// input files from long-term storage into the burst buffer, file by
+	// file, as the paper's (always sequential) stage-in task does.
+	KindStageIn Kind = "stage-in"
+	// KindStageOut drains results back to long-term storage: it
+	// sequentially copies its input files from wherever they live (usually
+	// a burst buffer) to the PFS, completing the "staging in/out" cycle.
+	KindStageOut Kind = "stage-out"
+)
+
+// File is a workflow data item.
+type File struct {
+	id        string
+	size      units.Bytes
+	producer  *Task
+	consumers []*Task
+}
+
+// ID returns the file's unique identifier.
+func (f *File) ID() string { return f.id }
+
+// Size returns the file's size.
+func (f *File) Size() units.Bytes { return f.size }
+
+// Producer returns the task that writes this file, or nil for workflow
+// inputs.
+func (f *File) Producer() *Task { return f.producer }
+
+// Consumers returns the tasks that read this file, in insertion order.
+func (f *File) Consumers() []*Task { return f.consumers }
+
+// IsInput reports whether the file is a workflow input (no producer).
+func (f *File) IsInput() bool { return f.producer == nil }
+
+// Task is a workflow vertex.
+type Task struct {
+	id       string
+	name     string // category label, e.g. "resample"
+	kind     Kind
+	work     units.Flops
+	cores    int
+	memory   units.Bytes
+	alpha    float64
+	lambdaIO float64
+	index    int // insertion order, for deterministic tie-breaking
+	inputs   []*File
+	outputs  []*File
+}
+
+// ID returns the task's unique identifier.
+func (t *Task) ID() string { return t.id }
+
+// Name returns the task's category label (several tasks share one name).
+func (t *Task) Name() string { return t.name }
+
+// Kind returns the task kind.
+func (t *Task) Kind() Kind { return t.kind }
+
+// Work returns the task's total sequential compute work, I/O excluded.
+func (t *Task) Work() units.Flops { return t.work }
+
+// Cores returns the task's requested core count.
+func (t *Task) Cores() int { return t.cores }
+
+// Memory returns the task's peak memory demand (0 = unconstrained).
+func (t *Task) Memory() units.Bytes { return t.memory }
+
+// Alpha returns the task's Amdahl non-parallelizable fraction.
+func (t *Task) Alpha() float64 { return t.alpha }
+
+// LambdaIO returns the observed fraction of execution time the task spends
+// in I/O (λ_io in the paper), an annotation consumed by calibration.
+func (t *Task) LambdaIO() float64 { return t.lambdaIO }
+
+// Index returns the task's insertion index.
+func (t *Task) Index() int { return t.index }
+
+// Inputs returns the files the task reads.
+func (t *Task) Inputs() []*File { return t.inputs }
+
+// Outputs returns the files the task writes.
+func (t *Task) Outputs() []*File { return t.outputs }
+
+// InputBytes returns the total size of the task's inputs.
+func (t *Task) InputBytes() units.Bytes {
+	var total units.Bytes
+	for _, f := range t.inputs {
+		total += f.size
+	}
+	return total
+}
+
+// OutputBytes returns the total size of the task's outputs.
+func (t *Task) OutputBytes() units.Bytes {
+	var total units.Bytes
+	for _, f := range t.outputs {
+		total += f.size
+	}
+	return total
+}
+
+// Parents returns the distinct producers of the task's inputs, ordered by
+// task insertion index.
+func (t *Task) Parents() []*Task {
+	seen := map[*Task]bool{}
+	var parents []*Task
+	for _, f := range t.inputs {
+		if f.producer != nil && !seen[f.producer] {
+			seen[f.producer] = true
+			parents = append(parents, f.producer)
+		}
+	}
+	sort.Slice(parents, func(i, j int) bool { return parents[i].index < parents[j].index })
+	return parents
+}
+
+// Children returns the distinct consumers of the task's outputs, ordered by
+// task insertion index.
+func (t *Task) Children() []*Task {
+	seen := map[*Task]bool{}
+	var children []*Task
+	for _, f := range t.outputs {
+		for _, c := range f.consumers {
+			if !seen[c] {
+				seen[c] = true
+				children = append(children, c)
+			}
+		}
+	}
+	sort.Slice(children, func(i, j int) bool { return children[i].index < children[j].index })
+	return children
+}
+
+// TaskSpec describes a task to add to a workflow.
+type TaskSpec struct {
+	ID       string
+	Name     string
+	Kind     Kind        // defaults to KindCompute
+	Work     units.Flops // total sequential compute work
+	Cores    int         // requested cores, defaults to 1
+	Memory   units.Bytes // peak memory demand, 0 = unconstrained
+	Alpha    float64     // Amdahl non-parallelizable fraction
+	LambdaIO float64     // observed I/O time fraction
+	Inputs   []string    // file IDs, must exist
+	Outputs  []string    // file IDs, must exist and be unproduced
+}
+
+// Workflow is a DAG of tasks and files.
+type Workflow struct {
+	name     string
+	tasks    []*Task
+	taskByID map[string]*Task
+	files    []*File
+	fileByID map[string]*File
+}
+
+// New returns an empty workflow.
+func New(name string) *Workflow {
+	return &Workflow{
+		name:     name,
+		taskByID: map[string]*Task{},
+		fileByID: map[string]*File{},
+	}
+}
+
+// Name returns the workflow name.
+func (w *Workflow) Name() string { return w.name }
+
+// Tasks returns all tasks in insertion order.
+func (w *Workflow) Tasks() []*Task { return w.tasks }
+
+// Files returns all files in insertion order.
+func (w *Workflow) Files() []*File { return w.files }
+
+// Task returns the task with the given ID, or nil.
+func (w *Workflow) Task(id string) *Task { return w.taskByID[id] }
+
+// File returns the file with the given ID, or nil.
+func (w *Workflow) File(id string) *File { return w.fileByID[id] }
+
+// AddFile registers a file.
+func (w *Workflow) AddFile(id string, size units.Bytes) (*File, error) {
+	if id == "" {
+		return nil, fmt.Errorf("workflow: empty file ID")
+	}
+	if size < 0 {
+		return nil, fmt.Errorf("workflow: file %q has negative size %v", id, size)
+	}
+	if _, dup := w.fileByID[id]; dup {
+		return nil, fmt.Errorf("workflow: duplicate file ID %q", id)
+	}
+	f := &File{id: id, size: size}
+	w.fileByID[id] = f
+	w.files = append(w.files, f)
+	return f, nil
+}
+
+// MustAddFile is AddFile for generator code with known-good inputs.
+func (w *Workflow) MustAddFile(id string, size units.Bytes) *File {
+	f, err := w.AddFile(id, size)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// AddTask registers a task and wires it to its files. Every referenced file
+// must already exist, and each file may have at most one producer.
+func (w *Workflow) AddTask(spec TaskSpec) (*Task, error) {
+	if spec.ID == "" {
+		return nil, fmt.Errorf("workflow: empty task ID")
+	}
+	if _, dup := w.taskByID[spec.ID]; dup {
+		return nil, fmt.Errorf("workflow: duplicate task ID %q", spec.ID)
+	}
+	if spec.Work < 0 {
+		return nil, fmt.Errorf("workflow: task %q has negative work", spec.ID)
+	}
+	if spec.Alpha < 0 || spec.Alpha > 1 {
+		return nil, fmt.Errorf("workflow: task %q has Amdahl fraction %g outside [0,1]", spec.ID, spec.Alpha)
+	}
+	if spec.LambdaIO < 0 || spec.LambdaIO >= 1 {
+		return nil, fmt.Errorf("workflow: task %q has λ_io %g outside [0,1)", spec.ID, spec.LambdaIO)
+	}
+	kind := spec.Kind
+	if kind == "" {
+		kind = KindCompute
+	}
+	if kind != KindCompute && kind != KindStageIn && kind != KindStageOut {
+		return nil, fmt.Errorf("workflow: task %q has unknown kind %q", spec.ID, kind)
+	}
+	cores := spec.Cores
+	if cores == 0 {
+		cores = 1
+	}
+	if cores < 0 {
+		return nil, fmt.Errorf("workflow: task %q requests %d cores", spec.ID, cores)
+	}
+	if spec.Memory < 0 {
+		return nil, fmt.Errorf("workflow: task %q requests negative memory", spec.ID)
+	}
+	t := &Task{
+		id:       spec.ID,
+		name:     spec.Name,
+		kind:     kind,
+		work:     spec.Work,
+		cores:    cores,
+		memory:   spec.Memory,
+		alpha:    spec.Alpha,
+		lambdaIO: spec.LambdaIO,
+		index:    len(w.tasks),
+	}
+	if t.name == "" {
+		t.name = t.id
+	}
+	seenIn := map[string]bool{}
+	for _, id := range spec.Inputs {
+		f := w.fileByID[id]
+		if f == nil {
+			return nil, fmt.Errorf("workflow: task %q reads unknown file %q", spec.ID, id)
+		}
+		if seenIn[id] {
+			return nil, fmt.Errorf("workflow: task %q reads file %q twice", spec.ID, id)
+		}
+		seenIn[id] = true
+		t.inputs = append(t.inputs, f)
+	}
+	seenOut := map[string]bool{}
+	for _, id := range spec.Outputs {
+		f := w.fileByID[id]
+		if f == nil {
+			return nil, fmt.Errorf("workflow: task %q writes unknown file %q", spec.ID, id)
+		}
+		if seenOut[id] {
+			return nil, fmt.Errorf("workflow: task %q writes file %q twice", spec.ID, id)
+		}
+		if seenIn[id] {
+			return nil, fmt.Errorf("workflow: task %q both reads and writes file %q", spec.ID, id)
+		}
+		if f.producer != nil {
+			return nil, fmt.Errorf("workflow: file %q produced by both %q and %q", id, f.producer.id, spec.ID)
+		}
+		seenOut[id] = true
+		t.outputs = append(t.outputs, f)
+	}
+	// All checks passed; commit.
+	for _, f := range t.inputs {
+		f.consumers = append(f.consumers, t)
+	}
+	for _, f := range t.outputs {
+		f.producer = t
+	}
+	w.taskByID[t.id] = t
+	w.tasks = append(w.tasks, t)
+	return t, nil
+}
+
+// MustAddTask is AddTask for generator code with known-good inputs.
+func (w *Workflow) MustAddTask(spec TaskSpec) *Task {
+	t, err := w.AddTask(spec)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// TopologicalOrder returns the tasks in a deterministic topological order
+// (Kahn's algorithm, ties broken by insertion index), or an error if the
+// graph has a cycle.
+func (w *Workflow) TopologicalOrder() ([]*Task, error) {
+	indegree := make(map[*Task]int, len(w.tasks))
+	for _, t := range w.tasks {
+		indegree[t] = len(t.Parents())
+	}
+	// Min-heap by insertion index, implemented as a sorted ready list; the
+	// workflow sizes here (≤ a few thousand tasks) make O(n log n) inserts
+	// with binary search plenty fast and keep the order obvious.
+	var ready []*Task
+	insert := func(t *Task) {
+		i := sort.Search(len(ready), func(i int) bool { return ready[i].index > t.index })
+		ready = append(ready, nil)
+		copy(ready[i+1:], ready[i:])
+		ready[i] = t
+	}
+	for _, t := range w.tasks {
+		if indegree[t] == 0 {
+			insert(t)
+		}
+	}
+	order := make([]*Task, 0, len(w.tasks))
+	for len(ready) > 0 {
+		t := ready[0]
+		ready = ready[1:]
+		order = append(order, t)
+		for _, c := range t.Children() {
+			indegree[c]--
+			if indegree[c] == 0 {
+				insert(c)
+			}
+		}
+	}
+	if len(order) != len(w.tasks) {
+		return nil, fmt.Errorf("workflow %q: dependency cycle among %d tasks", w.name, len(w.tasks)-len(order))
+	}
+	return order, nil
+}
+
+// Validate checks structural invariants not enforced incrementally: the
+// graph must be acyclic. (Unique IDs and single producers are enforced by
+// AddFile/AddTask.)
+func (w *Workflow) Validate() error {
+	_, err := w.TopologicalOrder()
+	return err
+}
+
+// Sources returns tasks with no parents, in insertion order.
+func (w *Workflow) Sources() []*Task {
+	var srcs []*Task
+	for _, t := range w.tasks {
+		if len(t.Parents()) == 0 {
+			srcs = append(srcs, t)
+		}
+	}
+	return srcs
+}
+
+// Sinks returns tasks with no children, in insertion order.
+func (w *Workflow) Sinks() []*Task {
+	var sinks []*Task
+	for _, t := range w.tasks {
+		if len(t.Children()) == 0 {
+			sinks = append(sinks, t)
+		}
+	}
+	return sinks
+}
+
+// Levels partitions tasks by depth: level 0 holds the sources, level k the
+// tasks whose deepest parent is at level k-1.
+func (w *Workflow) Levels() ([][]*Task, error) {
+	order, err := w.TopologicalOrder()
+	if err != nil {
+		return nil, err
+	}
+	depth := make(map[*Task]int, len(order))
+	max := 0
+	for _, t := range order {
+		d := 0
+		for _, p := range t.Parents() {
+			if depth[p]+1 > d {
+				d = depth[p] + 1
+			}
+		}
+		depth[t] = d
+		if d > max {
+			max = d
+		}
+	}
+	levels := make([][]*Task, max+1)
+	for _, t := range order {
+		levels[depth[t]] = append(levels[depth[t]], t)
+	}
+	return levels, nil
+}
+
+// CriticalPath returns the longest path through the DAG where each task's
+// weight is dur(task), along with its total duration.
+func (w *Workflow) CriticalPath(dur func(*Task) float64) ([]*Task, float64, error) {
+	order, err := w.TopologicalOrder()
+	if err != nil {
+		return nil, 0, err
+	}
+	finish := make(map[*Task]float64, len(order))
+	prev := make(map[*Task]*Task, len(order))
+	var last *Task
+	best := 0.0
+	for _, t := range order {
+		start := 0.0
+		for _, p := range t.Parents() {
+			if finish[p] > start {
+				start = finish[p]
+				prev[t] = p
+			}
+		}
+		finish[t] = start + dur(t)
+		if finish[t] > best {
+			best = finish[t]
+			last = t
+		}
+	}
+	var path []*Task
+	for t := last; t != nil; t = prev[t] {
+		path = append(path, t)
+	}
+	// Reverse into source-to-sink order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, best, nil
+}
+
+// Stats summarizes a workflow.
+type Stats struct {
+	Tasks         int
+	Files         int
+	InputFiles    int
+	InputBytes    units.Bytes
+	TotalBytes    units.Bytes // data footprint: sum of all file sizes
+	TotalWork     units.Flops
+	TasksByName   map[string]int
+	MaxParallel   int // widest level
+	Depth         int // number of levels
+	SourceCount   int
+	SinkCount     int
+	EdgeCount     int         // task-to-task dependency edges (deduplicated)
+	IntermedBytes units.Bytes // bytes of files that are produced and consumed
+}
+
+// ComputeStats walks the workflow once and summarizes it.
+func (w *Workflow) ComputeStats() (Stats, error) {
+	levels, err := w.Levels()
+	if err != nil {
+		return Stats{}, err
+	}
+	s := Stats{
+		Tasks:       len(w.tasks),
+		Files:       len(w.files),
+		TasksByName: map[string]int{},
+		Depth:       len(levels),
+		SourceCount: len(w.Sources()),
+		SinkCount:   len(w.Sinks()),
+	}
+	for _, lv := range levels {
+		if len(lv) > s.MaxParallel {
+			s.MaxParallel = len(lv)
+		}
+	}
+	for _, f := range w.files {
+		s.TotalBytes += f.size
+		if f.IsInput() {
+			s.InputFiles++
+			s.InputBytes += f.size
+		} else if len(f.consumers) > 0 {
+			s.IntermedBytes += f.size
+		}
+	}
+	for _, t := range w.tasks {
+		s.TotalWork += t.work
+		s.TasksByName[t.name]++
+		s.EdgeCount += len(t.Parents())
+	}
+	return s, nil
+}
