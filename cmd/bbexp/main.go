@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"bbwfsim/internal/experiments"
 )
@@ -27,6 +28,7 @@ func main() {
 		quick  = flag.Bool("quick", false, "reduced sweeps and repetitions")
 		out    = flag.String("o", "", "write output to file instead of stdout")
 		format = flag.String("format", "text", "output format: text or csv")
+		wall   = flag.Bool("walltime", false, "add wall-clock columns to the scalability experiment (output no longer bit-reproducible)")
 	)
 	flag.Parse()
 
@@ -69,6 +71,13 @@ func main() {
 		os.Exit(2)
 	}
 	opts := experiments.Options{Reps: *reps, Seed: *seed, Quick: *quick}
+	if *wall {
+		// Experiments cannot read the wall clock themselves (bbvet's
+		// no-walltime rule): the CLI injects it, keeping the default
+		// output bit-identical across runs.
+		start := time.Now()
+		opts.Stopwatch = func() time.Duration { return time.Since(start) }
+	}
 	for _, e := range selected {
 		tables, err := e.Run(opts)
 		if err != nil {

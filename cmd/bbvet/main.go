@@ -1,0 +1,71 @@
+// Command bbvet runs the repository's determinism and simulation-safety
+// static-analysis suite (internal/analysis) over the whole module.
+//
+// Usage:
+//
+//	go run ./cmd/bbvet ./...     # analyze the module, exit 1 on findings
+//	go run ./cmd/bbvet -rules    # list the rules and what they enforce
+//
+// Findings print in vet format, file:line: [rule] message. Suppress a
+// finding with a justified directive on the offending line or the line
+// above:
+//
+//	//bbvet:allow <rule> -- <justification>
+//	//bbvet:ordered -- <justification>     (map iteration only)
+//
+// bbvet always analyzes the module enclosing the working directory as a
+// whole; package patterns beyond ./... are not supported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"bbwfsim/internal/analysis"
+)
+
+func main() {
+	var (
+		rules = flag.Bool("rules", false, "list the rule set and exit")
+	)
+	flag.Parse()
+
+	if *rules {
+		for _, r := range analysis.Rules() {
+			fmt.Printf("%-24s %s\n", r.Name, r.Doc)
+		}
+		return
+	}
+	for _, arg := range flag.Args() {
+		if arg != "./..." && arg != "." {
+			fmt.Fprintf(os.Stderr, "bbvet: unsupported pattern %q: bbvet analyzes the enclosing module as a whole (use ./...)\n", arg)
+			os.Exit(2)
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bbvet: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.LoadModule(cwd)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bbvet: %v\n", err)
+		os.Exit(2)
+	}
+	findings := analysis.Run(pkgs, analysis.Rules())
+	for _, f := range findings {
+		// Relative paths keep the output stable across checkouts and
+		// clickable from the module root.
+		if rel, err := filepath.Rel(cwd, f.Pos.Filename); err == nil && !filepath.IsAbs(rel) {
+			f.Pos.Filename = rel
+		}
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "bbvet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

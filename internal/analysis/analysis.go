@@ -1,0 +1,216 @@
+// Package analysis implements bbvet, the repository's determinism and
+// simulation-safety static-analysis suite.
+//
+// The simulator's core claim (DESIGN.md, "Determinism & static analysis")
+// is that repeated runs are bit-identical: seeded randomness only, virtual
+// time only, insertion-ordered same-time events, single-threaded kernel.
+// bbvet makes those invariants machine-checked instead of conventional. It
+// is built exclusively on the standard library (go/ast, go/parser,
+// go/types) — no external analysis frameworks — and is wired into tier-1
+// via TestBBVetRepoClean, so `go test ./...` fails whenever an unsuppressed
+// finding is introduced.
+//
+// Findings print in vet format, `file:line: [rule] message`, and may be
+// suppressed with a justified directive on the offending line or the line
+// immediately above:
+//
+//	//bbvet:allow <rule> -- <justification>
+//	//bbvet:ordered -- <justification>   (ordered-map-iteration only)
+//
+// A directive without a justification, and an //bbvet:allow that suppresses
+// nothing, are themselves findings, so suppressions cannot rot silently.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+	"sort"
+)
+
+// A Finding is one rule violation at a source position.
+type Finding struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+// String renders the finding in vet format: file:line: [rule] message.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Message)
+}
+
+// A Pass carries one type-checked package through the rule set.
+type Pass struct {
+	Fset  *token.FileSet
+	Path  string // import path, e.g. "bbwfsim/internal/sim"
+	Pkg   *types.Package
+	Info  *types.Info
+	Files []*ast.File
+
+	directives *directiveSet
+	findings   *[]Finding
+}
+
+// Reportf records a finding unless a matching //bbvet:allow directive
+// covers its line.
+func (p *Pass) Reportf(pos token.Pos, rule, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.directives.allows(position, rule) {
+		return
+	}
+	*p.findings = append(*p.findings, Finding{
+		Pos:     position,
+		Rule:    rule,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Ordered reports whether a //bbvet:ordered directive covers pos (used by
+// the ordered-map-iteration rule).
+func (p *Pass) Ordered(pos token.Pos) bool {
+	return p.directives.ordered(p.Fset.Position(pos))
+}
+
+// PkgUse resolves an identifier to the import path of the package it names,
+// or "" if it does not name an imported package.
+func (p *Pass) PkgUse(id *ast.Ident) string {
+	if obj, ok := p.Info.Uses[id].(*types.PkgName); ok {
+		return obj.Imported().Path()
+	}
+	return ""
+}
+
+// Inspect walks every file in the pass.
+func (p *Pass) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// A Rule is one check in the suite.
+type Rule struct {
+	Name string
+	Doc  string
+	// AppliesTo gates the rule by package import path; nil means the whole
+	// module.
+	AppliesTo func(pkgPath string) bool
+	Run       func(*Pass)
+}
+
+// Rules returns the full bbvet rule set, in stable order.
+func Rules() []Rule {
+	return []Rule{
+		noWalltimeRule(),
+		seededRandRule(),
+		orderedMapRule(),
+		kernelPurityRule(),
+		floatCompareRule(),
+		uncheckedErrorRule(),
+	}
+}
+
+// RuleNames returns the names of all rules, in stable order.
+func RuleNames() []string {
+	rules := Rules()
+	names := make([]string, len(rules))
+	for i, r := range rules {
+		names[i] = r.Name
+	}
+	return names
+}
+
+func isRuleName(name string) bool {
+	for _, n := range RuleNames() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// simPackages are the packages whose execution feeds simulated results:
+// the discrete-event kernel, the fluid model, and everything that decides
+// or observes simulated behavior. Rules scoped to "simulation packages"
+// match on the final import-path element so testdata fixtures can stand in
+// for the real packages.
+var simPackages = map[string]bool{
+	"sim": true, "flow": true, "exec": true, "core": true,
+	"storage": true, "testbed": true, "calib": true,
+	"placement": true, "optimize": true,
+}
+
+// kernelPackages is the single-threaded discrete-event core whose
+// determinism depends on the absence of any concurrency.
+var kernelPackages = map[string]bool{"sim": true, "flow": true}
+
+// deterministicOutputPackages additionally covers packages whose output is
+// asserted bit-identical across runs (experiment tables, traces).
+var deterministicOutputPackages = map[string]bool{
+	"experiments": true, "trace": true, "wfcommons": true,
+	"swarp": true, "genomes": true, "workloads": true,
+	"checkpoint": true, "workflow": true, "stats": true,
+}
+
+// emitterPackages write CSV/JSON artifacts whose I/O errors must not be
+// dropped.
+var emitterPackages = map[string]bool{
+	"trace": true, "experiments": true, "wfcommons": true,
+}
+
+func isSimPackage(pkgPath string) bool {
+	return simPackages[path.Base(pkgPath)]
+}
+
+func isKernelPackage(pkgPath string) bool {
+	return kernelPackages[path.Base(pkgPath)]
+}
+
+func isDeterministicPackage(pkgPath string) bool {
+	base := path.Base(pkgPath)
+	return simPackages[base] || deterministicOutputPackages[base]
+}
+
+func isEmitterPackage(pkgPath string) bool {
+	return emitterPackages[path.Base(pkgPath)]
+}
+
+// Run executes every rule over every package and returns the surviving
+// findings sorted by position. Malformed and unused directives are reported
+// as findings under the pseudo-rule "directive".
+func Run(pkgs []*Package, rules []Rule) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		dirs, dirFindings := collectDirectives(pkg.Fset, pkg.Files)
+		findings = append(findings, dirFindings...)
+		pass := &Pass{
+			Fset:       pkg.Fset,
+			Path:       pkg.Path,
+			Pkg:        pkg.Pkg,
+			Info:       pkg.Info,
+			Files:      pkg.Files,
+			directives: dirs,
+			findings:   &findings,
+		}
+		for _, rule := range rules {
+			if rule.AppliesTo != nil && !rule.AppliesTo(pkg.Path) {
+				continue
+			}
+			rule.Run(pass)
+		}
+		findings = append(findings, dirs.unused()...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return findings[i].Rule < findings[j].Rule
+	})
+	return findings
+}

@@ -1,0 +1,43 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+func floatCompareRule() Rule {
+	return Rule{
+		Name: "float-compare",
+		Doc: "flag == and != between floating-point operands outside test files; exact float " +
+			"equality is usually a rounding-sensitive bug, and intended exact comparisons must say so",
+		// Module-wide (the loader already excludes _test.go files).
+		Run: func(p *Pass) {
+			p.Inspect(func(n ast.Node) bool {
+				cmp, ok := n.(*ast.BinaryExpr)
+				if !ok || (cmp.Op != token.EQL && cmp.Op != token.NEQ) {
+					return true
+				}
+				if !isFloat(p.Info.TypeOf(cmp.X)) && !isFloat(p.Info.TypeOf(cmp.Y)) {
+					return true
+				}
+				// A comparison folded at compile time cannot vary at run time.
+				if p.Info.Types[cmp.X].Value != nil && p.Info.Types[cmp.Y].Value != nil {
+					return true
+				}
+				p.Reportf(cmp.Pos(), "float-compare",
+					"%s between floating-point operands; compare with a tolerance, or annotate "+
+						"//bbvet:allow float-compare -- <why exact equality is intended>", cmp.Op)
+				return true
+			})
+		},
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}

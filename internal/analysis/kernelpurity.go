@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+func kernelPurityRule() Rule {
+	return Rule{
+		Name: "no-goroutines-in-kernel",
+		Doc: "forbid goroutines, channels, select, and sync primitives in the discrete-event " +
+			"kernel and fluid model (sim, flow); their determinism depends on single-threaded execution",
+		AppliesTo: isKernelPackage,
+		Run: func(p *Pass) {
+			p.Inspect(func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ImportSpec:
+					path := strings.Trim(n.Path.Value, `"`)
+					if path == "sync" || path == "sync/atomic" {
+						p.Reportf(n.Pos(), "no-goroutines-in-kernel",
+							"import of %q in the kernel: the event loop is single-threaded by design, "+
+								"synchronization primitives signal concurrent mutation", path)
+					}
+				case *ast.GoStmt:
+					p.Reportf(n.Pos(), "no-goroutines-in-kernel",
+						"go statement in the kernel: goroutine interleaving makes same-time event "+
+							"order scheduler-dependent")
+				case *ast.SelectStmt:
+					p.Reportf(n.Pos(), "no-goroutines-in-kernel",
+						"select statement in the kernel: case choice is runtime-randomized")
+				case *ast.SendStmt:
+					p.Reportf(n.Pos(), "no-goroutines-in-kernel", "channel send in the kernel")
+				case *ast.ChanType:
+					p.Reportf(n.Pos(), "no-goroutines-in-kernel",
+						"channel type in the kernel: cross-goroutine communication has no place in "+
+							"a single-threaded event loop")
+				case *ast.UnaryExpr:
+					if n.Op == token.ARROW {
+						p.Reportf(n.Pos(), "no-goroutines-in-kernel", "channel receive in the kernel")
+					}
+				case *ast.RangeStmt:
+					if t := p.Info.TypeOf(n.X); t != nil {
+						if _, isChan := t.Underlying().(*types.Chan); isChan {
+							p.Reportf(n.Pos(), "no-goroutines-in-kernel", "range over a channel in the kernel")
+						}
+					}
+				}
+				return true
+			})
+		},
+	}
+}

@@ -1,0 +1,259 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one parsed and type-checked package of the module.
+type Package struct {
+	Path  string // import path
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// LoadModule parses and type-checks every non-test package under the
+// module rooted at or above dir, using only the standard library: the
+// module layout is discovered by walking the tree (the module has no
+// external dependencies, so import paths map 1:1 onto directories), and
+// standard-library imports are type-checked from source via go/importer.
+// Test files are excluded: the rule set governs simulation code, and
+// tests legitimately use wall time, ad-hoc randomness, and goroutines.
+func LoadModule(dir string) ([]*Package, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	byPath := make(map[string]*Package)
+	err = filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		pkg, err := parseDir(fset, p, root, modPath)
+		if err != nil {
+			return err
+		}
+		if pkg != nil {
+			byPath[pkg.Path] = pkg
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := checkAll(fset, byPath, modPath)
+	if err != nil {
+		return nil, err
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks the single package in dir as if it had
+// the given import path. Used by the fixture tests, whose testdata
+// packages stand in for real module packages.
+func LoadDir(dir, importPath string) (*Package, error) {
+	fset := token.NewFileSet()
+	pkg, err := parseDir(fset, dir, filepath.Dir(dir), "")
+	if err != nil {
+		return nil, err
+	}
+	if pkg == nil {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	pkg.Path = importPath
+	imp, err := newModuleImporter(fset, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := check(fset, pkg, imp); err != nil {
+		return nil, err
+	}
+	return pkg, nil
+}
+
+// findModule walks upward from dir to the enclosing go.mod and returns the
+// module root and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for p := abs; ; p = filepath.Dir(p) {
+		data, err := os.ReadFile(filepath.Join(p, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return p, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module line", p)
+		}
+		if filepath.Dir(p) == p {
+			return "", "", fmt.Errorf("analysis: no go.mod at or above %s", abs)
+		}
+	}
+}
+
+// parseDir parses the non-test Go files directly in dir, returning nil if
+// there are none.
+func parseDir(fset *token.FileSet, dir, root, modPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	importPath := modPath
+	if rel, err := filepath.Rel(root, dir); err == nil && rel != "." {
+		importPath = modPath + "/" + filepath.ToSlash(rel)
+	}
+	return &Package{Path: importPath, Dir: dir, Fset: fset, Files: files}, nil
+}
+
+// checkAll type-checks the module's packages in dependency order and
+// returns them sorted by import path.
+func checkAll(fset *token.FileSet, byPath map[string]*Package, modPath string) ([]*Package, error) {
+	checked := make(map[string]*types.Package)
+	imp, err := newModuleImporter(fset, checked)
+	if err != nil {
+		return nil, err
+	}
+	var visit func(path string, stack []string) error
+	visit = func(path string, stack []string) error {
+		if _, done := checked[path]; done {
+			return nil
+		}
+		for _, s := range stack {
+			if s == path {
+				return fmt.Errorf("analysis: import cycle: %s", strings.Join(append(stack, path), " -> "))
+			}
+		}
+		pkg := byPath[path]
+		if pkg == nil {
+			return fmt.Errorf("analysis: import %q not found in module %s", path, modPath)
+		}
+		for _, dep := range moduleImports(pkg, modPath) {
+			if err := visit(dep, append(stack, path)); err != nil {
+				return err
+			}
+		}
+		if err := check(fset, pkg, imp); err != nil {
+			return err
+		}
+		checked[path] = pkg.Pkg
+		return nil
+	}
+	paths := make([]string, 0, len(byPath))
+	for p := range byPath {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if err := visit(p, nil); err != nil {
+			return nil, err
+		}
+	}
+	pkgs := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkgs = append(pkgs, byPath[p])
+	}
+	return pkgs, nil
+}
+
+// moduleImports lists pkg's imports that live inside the module.
+func moduleImports(pkg *Package, modPath string) []string {
+	seen := make(map[string]bool)
+	var deps []string
+	for _, f := range pkg.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if (path == modPath || strings.HasPrefix(path, modPath+"/")) && !seen[path] {
+				seen[path] = true
+				deps = append(deps, path)
+			}
+		}
+	}
+	sort.Strings(deps)
+	return deps
+}
+
+// moduleImporter resolves module-internal imports from the already-checked
+// set and everything else (the standard library) from source.
+type moduleImporter struct {
+	checked map[string]*types.Package
+	std     types.ImporterFrom
+}
+
+// newModuleImporter builds an importer sharing fset, so positions in
+// findings stay consistent, and sharing the standard-library importer
+// across packages, so each stdlib package is type-checked once per load.
+func newModuleImporter(fset *token.FileSet, checked map[string]*types.Package) (*moduleImporter, error) {
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("analysis: source importer does not support ImporterFrom")
+	}
+	return &moduleImporter{checked: checked, std: std}, nil
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	return m.ImportFrom(path, "", 0)
+}
+
+func (m *moduleImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if pkg, ok := m.checked[path]; ok {
+		return pkg, nil
+	}
+	return m.std.ImportFrom(path, dir, mode)
+}
+
+// check type-checks one parsed package, populating pkg.Pkg and pkg.Info.
+func check(fset *token.FileSet, pkg *Package, imp *moduleImporter) error {
+	conf := types.Config{Importer: imp}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	tpkg, err := conf.Check(pkg.Path, fset, pkg.Files, info)
+	if err != nil {
+		return fmt.Errorf("analysis: type-checking %s: %w", pkg.Path, err)
+	}
+	pkg.Pkg = tpkg
+	pkg.Info = info
+	return nil
+}

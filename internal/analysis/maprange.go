@@ -1,0 +1,220 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+func orderedMapRule() Rule {
+	return Rule{
+		Name: "ordered-map-iteration",
+		Doc: "flag `range` over a map in simulation packages unless the body provably " +
+			"aggregates order-insensitively or the loop carries //bbvet:ordered",
+		AppliesTo: isSimPackage,
+		Run: func(p *Pass) {
+			p.Inspect(func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := p.Info.TypeOf(rng.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if orderInsensitive(p, rng) {
+					return true
+				}
+				if p.Ordered(rng.Pos()) {
+					return true
+				}
+				p.Reportf(rng.Pos(), "ordered-map-iteration",
+					"map iteration order is nondeterministic; iterate sorted keys, reduce the body "+
+						"to an order-insensitive aggregation, or annotate //bbvet:ordered -- <why>")
+				return true
+			})
+		},
+	}
+}
+
+// orderInsensitive reports whether every statement in the loop body is an
+// aggregation whose result cannot depend on iteration order:
+//
+//   - x++ / x-- on a plain variable (the same update every iteration);
+//   - x += e (or |=, &=, ^=) where x is an integer — exact commutative
+//     arithmetic. For floating-point x the sum is only order-independent
+//     when e is loop-invariant, because float addition is not associative;
+//   - the max/min idiom `if v > x { x = v }` (strict comparison, single
+//     assignment, no else), which is order-insensitive even for floats;
+//   - a map transform `out[k] = e` indexed by the (unmodified) range key:
+//     every iteration writes a distinct key, so the final map is the same
+//     in any order.
+//
+// Anything else — appends, calls, nested loops, writes through the range
+// variables — is treated as order-sensitive.
+func orderInsensitive(p *Pass, rng *ast.RangeStmt) bool {
+	loopVars := rangeVars(p, rng)
+	keyVar := bindingVar(p, rng.Key)
+	keyMutated := false
+	for _, stmt := range rng.Body.List {
+		switch s := stmt.(type) {
+		case *ast.IncDecStmt:
+			if bindingVar(p, s.X) == keyVar {
+				keyMutated = true
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				if bindingVar(p, lhs) == keyVar {
+					keyMutated = true
+				}
+			}
+		}
+	}
+	for _, stmt := range rng.Body.List {
+		switch s := stmt.(type) {
+		case *ast.IncDecStmt:
+			if _, ok := s.X.(*ast.Ident); !ok {
+				return false
+			}
+		case *ast.AssignStmt:
+			if !commutativeAssign(p, s, loopVars) &&
+				!(keyVar != nil && !keyMutated && keyedMapWrite(p, s, keyVar)) {
+				return false
+			}
+		case *ast.IfStmt:
+			if !maxMinUpdate(s) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// bindingVar resolves an expression to the variable it names, or nil.
+func bindingVar(p *Pass, e ast.Expr) *types.Var {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if v, ok := p.Info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := p.Info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// keyedMapWrite matches `out[k] = e` where k is the range key: each
+// iteration writes a distinct map key, so the result is order-independent.
+func keyedMapWrite(p *Pass, s *ast.AssignStmt, keyVar *types.Var) bool {
+	if s.Tok != token.ASSIGN || len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return false
+	}
+	idx, ok := s.Lhs[0].(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	if t := p.Info.TypeOf(idx.X); t == nil {
+		return false
+	} else if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return false
+	}
+	return bindingVar(p, idx.Index) == keyVar
+}
+
+// rangeVars collects the variables bound by the range clause.
+func rangeVars(p *Pass, rng *ast.RangeStmt) map[*types.Var]bool {
+	vars := make(map[*types.Var]bool)
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if v, ok := p.Info.Defs[id].(*types.Var); ok {
+			vars[v] = true
+		} else if v, ok := p.Info.Uses[id].(*types.Var); ok {
+			vars[v] = true
+		}
+	}
+	return vars
+}
+
+func commutativeAssign(p *Pass, s *ast.AssignStmt, loopVars map[*types.Var]bool) bool {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return false
+	}
+	id, ok := s.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+	default:
+		return false
+	}
+	t := p.Info.TypeOf(id)
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	if basic.Info()&types.IsInteger != 0 {
+		return true
+	}
+	if basic.Info()&types.IsFloat != 0 && s.Tok == token.ADD_ASSIGN {
+		// Float sums depend on order unless each term is loop-invariant.
+		return !usesAny(p, s.Rhs[0], loopVars)
+	}
+	return false
+}
+
+// maxMinUpdate matches `if v > x { x = v }` (and the <, reversed-operand,
+// and min variants): a strict comparison guarding a single assignment of
+// the compared value to the compared variable.
+func maxMinUpdate(s *ast.IfStmt) bool {
+	if s.Else != nil || s.Init != nil || len(s.Body.List) != 1 {
+		return false
+	}
+	cond, ok := s.Cond.(*ast.BinaryExpr)
+	if !ok || (cond.Op != token.LSS && cond.Op != token.GTR) {
+		return false
+	}
+	assign, ok := s.Body.List[0].(*ast.AssignStmt)
+	if !ok || assign.Tok != token.ASSIGN || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	target, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	// One side of the comparison must be the assignment target, the other
+	// the assigned value.
+	matches := func(a, b ast.Expr) bool {
+		id, ok := a.(*ast.Ident)
+		return ok && id.Name == target.Name && exprString(b) == exprString(assign.Rhs[0])
+	}
+	return matches(cond.X, cond.Y) || matches(cond.Y, cond.X)
+}
+
+func exprString(e ast.Expr) string { return types.ExprString(e) }
+
+func usesAny(p *Pass, e ast.Expr, vars map[*types.Var]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := p.Info.Uses[id].(*types.Var); ok && vars[v] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// randConstructors are the math/rand functions that build explicit,
+// seedable generators — the only sanctioned way to get randomness.
+// Everything else at package level (rand.Intn, rand.Float64, rand.Shuffle,
+// rand.Seed, …) draws from the process-global source, whose stream depends
+// on what else has consumed it and, in math/rand/v2, on per-process
+// seeding — either way the run is no longer reproducible from its inputs.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 source constructors.
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func seededRandRule() Rule {
+	return Rule{
+		Name: "seeded-rand-only",
+		Doc: "forbid the math/rand package-global functions; randomness must flow from an " +
+			"explicit rand.New(rand.NewSource(seed))",
+		// Module-wide: even CLI glue must not introduce unseeded noise.
+		Run: func(p *Pass) {
+			p.Inspect(func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				path := p.PkgUse(id)
+				if path != "math/rand" && path != "math/rand/v2" {
+					return true
+				}
+				if _, isFunc := p.Info.Uses[sel.Sel].(*types.Func); !isFunc {
+					return true // type or variable reference (rand.Rand, rand.Source)
+				}
+				if randConstructors[sel.Sel.Name] {
+					return true
+				}
+				p.Reportf(sel.Pos(), "seeded-rand-only",
+					"rand.%s uses the process-global random source; draw from an explicit "+
+						"rand.New(rand.NewSource(seed)) so runs are reproducible", sel.Sel.Name)
+				return true
+			})
+		},
+	}
+}

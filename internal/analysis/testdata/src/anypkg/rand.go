@@ -1,0 +1,15 @@
+// Fixture for the seeded-rand-only rule: module-wide, randomness must come
+// from an explicit seeded source, never the process-global one.
+package anypkg
+
+import "math/rand"
+
+func draws(seed int64) (int, float64) {
+	n := rand.Intn(10)                    // want `seeded-rand-only`
+	rand.Shuffle(n, func(i, j int) {})    // want `seeded-rand-only`
+	f := rand.Float64()                   // want `seeded-rand-only`
+	rng := rand.New(rand.NewSource(seed)) // explicit seeded source: fine
+	var typed *rand.Rand                  // type references: fine
+	typed = rng
+	return n + typed.Intn(10), f
+}

@@ -1,0 +1,26 @@
+// Fixture for the directive machinery itself: suppressions must name a
+// known rule, carry a justification, and actually suppress something.
+package directives
+
+import "math/rand"
+
+//bbvet:allow no-such-rule -- nonsense // want `unknown rule`
+var a = 1
+
+//bbvet:allow float-compare // want `needs a justification`
+var b = 2.0
+
+//bbvet:ordered // want `needs a justification`
+var c = 3
+
+//bbvet:frobnicate // want `unknown bbvet directive`
+var d = 4
+
+//bbvet:allow no-walltime -- nothing here reads the clock // want `unused`
+var e = 5
+
+func seeded() int {
+	_ = []int{a, c, d, e}
+	_ = b
+	return rand.Intn(5) // want `seeded-rand-only`
+}

@@ -1,0 +1,37 @@
+// Fixture for the unchecked-error and no-walltime rules in experiment
+// emitters. optimizerRegression mirrors the wall-clock leak once shipped
+// in RunScalability (internal/experiments/optimizer.go) — the first
+// regression bbvet was built to catch.
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+func optimizerRegression() float64 {
+	start := time.Now()                // want `no-walltime`
+	return time.Since(start).Seconds() // want `no-walltime`
+}
+
+func emit(w io.Writer, enc *json.Encoder, rows []string) error {
+	fmt.Fprintln(w, "header")    // want `unchecked-error`
+	enc.Encode(rows)             // want `unchecked-error`
+	w.Write([]byte("truncated")) // want `unchecked-error`
+	data, err := json.Marshal(rows)
+	if err != nil { // checked: not flagged
+		return err
+	}
+	var sb strings.Builder
+	sb.WriteString(string(data)) // Builder writes cannot fail: not flagged
+	if _, err := fmt.Fprintln(w, sb.String()); err != nil {
+		return err
+	}
+	io.Copy(io.Discard, strings.NewReader("rest")) // want `unchecked-error`
+	//bbvet:allow unchecked-error -- fixture: a justified suppression is honored
+	fmt.Fprintln(w, "trailer")
+	return nil
+}

@@ -1,0 +1,33 @@
+// Fixture for the no-goroutines-in-kernel rule: the discrete-event kernel
+// and fluid model are single-threaded by design; any concurrency construct
+// makes same-time event order scheduler-dependent.
+package flow
+
+import "sync" // want `no-goroutines-in-kernel`
+
+type shared struct {
+	mu sync.Mutex
+}
+
+func bad(c chan int) { // want `no-goroutines-in-kernel`
+	go func() {}() // want `no-goroutines-in-kernel`
+	c <- 1         // want `no-goroutines-in-kernel`
+	v := <-c       // want `no-goroutines-in-kernel`
+	_ = v
+	for w := range c { // want `no-goroutines-in-kernel`
+		_ = w
+	}
+	select { // want `no-goroutines-in-kernel`
+	default:
+	}
+}
+
+// pure event-loop code is untouched.
+func fine(events []func()) int {
+	fired := 0
+	for _, fn := range events {
+		fn()
+		fired++
+	}
+	return fired
+}

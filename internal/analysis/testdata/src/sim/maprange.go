@@ -1,0 +1,62 @@
+// Fixture for the ordered-map-iteration rule: map iteration in simulation
+// packages must be provably order-insensitive or carry //bbvet:ordered.
+package sim
+
+import "sort"
+
+func aggregate(weights map[string]int, loads map[string]float64) (int, int, float64, float64, float64) {
+	count := 0
+	for range loads { // counting: the same update every iteration
+		count++
+	}
+	intTotal := 0
+	for _, w := range weights { // integer sum: exact and commutative
+		intTotal += w
+	}
+	var floatTotal float64
+	for _, v := range loads { // want `ordered-map-iteration`
+		floatTotal += v
+	}
+	var constSum float64
+	for range loads { // loop-invariant float addend: order cannot matter
+		constSum += 0.5
+	}
+	var max float64
+	for _, v := range loads { // max is order-insensitive even for floats
+		if v > max {
+			max = v
+		}
+	}
+	return count, intTotal, floatTotal, constSum, max
+}
+
+func transform(loads map[string]float64) map[string]float64 {
+	out := map[string]float64{}
+	for k, v := range loads { // keyed write: each key written exactly once
+		out[k] = v * 2
+	}
+	return out
+}
+
+func shifted(weights map[int]int) map[int]int {
+	out := map[int]int{}
+	for k, v := range weights { // want `ordered-map-iteration`
+		k += v // the mutated key can collide across iterations
+		out[k] = v
+	}
+	return out
+}
+
+func keys(loads map[string]float64) []string {
+	var ks []string
+	for k := range loads { // want `ordered-map-iteration`
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	//bbvet:ordered -- fixture: collected keys are sorted immediately below
+	for k := range loads {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

@@ -1,0 +1,21 @@
+// Fixture for the no-walltime rule: the kernel must never read the wall
+// clock. The time types themselves stay legal — only the clock is banned.
+package sim
+
+import "time"
+
+func clock() (time.Time, float64) {
+	start := time.Now()           // want `no-walltime`
+	elapsed := time.Since(start)  // want `no-walltime`
+	time.Sleep(time.Millisecond)  // want `no-walltime`
+	deadline := time.After(dur()) // want `no-walltime`
+	_ = deadline
+	var virtual float64 // virtual time is the kernel's only clock
+	return start, elapsed.Seconds() + virtual
+}
+
+// dur only touches time types and constants: not flagged.
+func dur() time.Duration { return 5 * time.Millisecond }
+
+//bbvet:allow no-walltime -- fixture: a justified suppression is honored
+func allowed() time.Time { return time.Now() }

@@ -1,0 +1,41 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// walltimeFuncs are the package time functions that read the wall clock or
+// arm wall-clock timers. Referencing any of them from a deterministic
+// package couples simulated results to real time, so repeated runs stop
+// being bit-identical. The time *types* (Duration, Time) remain fine: they
+// only become non-deterministic when fed from the clock.
+var walltimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true, "Sleep": true,
+}
+
+func noWalltimeRule() Rule {
+	return Rule{
+		Name: "no-walltime",
+		Doc: "forbid wall-clock reads (time.Now, time.Since, timers) in simulation and " +
+			"experiment packages; simulated results must depend only on virtual time",
+		AppliesTo: isDeterministicPackage,
+		Run: func(p *Pass) {
+			p.Inspect(func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok || p.PkgUse(id) != "time" || !walltimeFuncs[sel.Sel.Name] {
+					return true
+				}
+				p.Reportf(sel.Pos(), "no-walltime",
+					"time.%s reads the wall clock; deterministic packages must use virtual time "+
+						"(sim.Engine.Now) or an injected stopwatch", sel.Sel.Name)
+				return true
+			})
+		},
+	}
+}

@@ -61,7 +61,7 @@ func New(p Params) (*Injector, error) {
 	if p.FirstWave < 0 {
 		return nil, fmt.Errorf("checkpoint: negative first wave %g", p.FirstWave)
 	}
-	if p.FirstWave == 0 {
+	if p.FirstWave == 0 { //bbvet:allow float-compare -- zero is the documented "use default" sentinel, never a computed value
 		p.FirstWave = p.Interval
 	}
 	return &Injector{

@@ -102,6 +102,10 @@ type Result struct {
 	// BB and PFS are the storage services' traffic statistics.
 	BB  storage.ServiceStats
 	PFS storage.ServiceStats
+	// Events is the number of discrete events the kernel executed: the
+	// simulator's deterministic cost metric (wall time is not part of a
+	// Result, so repeated runs stay bit-identical).
+	Events uint64
 }
 
 // MeanTaskTime returns the mean execution time of a task category, or an
@@ -145,6 +149,7 @@ func (s *Simulator) Run(wf *workflow.Workflow, opts RunOptions) (*Result, error)
 		Summaries: tr.Summarize(),
 		BB:        sys.BBStats(),
 		PFS:       sys.Manager().Stats(sys.PFS()),
+		Events:    eng.EventsFired(),
 	}, nil
 }
 

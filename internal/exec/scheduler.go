@@ -75,10 +75,12 @@ func newScheduler(nodePolicy NodePolicy, orderPolicy OrderPolicy, wf *workflow.W
 func (s *scheduler) less(a, b *workflow.Task) bool {
 	switch s.orderPolicy {
 	case OrderLargestWork:
+		//bbvet:allow float-compare -- comparator tie-break: exact equality detects ties, which then break by insertion index; a tolerance would itself be order-dependent
 		if a.Work() != b.Work() {
 			return a.Work() > b.Work()
 		}
 	case OrderCriticalPath:
+		//bbvet:allow float-compare -- comparator tie-break: exact equality detects ties, which then break by insertion index
 		if s.rank[a] != s.rank[b] {
 			return s.rank[a] > s.rank[b]
 		}

@@ -59,7 +59,7 @@ func RunAblationScheduler(opts Options) ([]*Table, error) {
 			if err != nil {
 				return nil, fmt.Errorf("scheduler %s/%s: %w", np.name, op.name, err)
 			}
-			if baseline == 0 {
+			if baseline == 0 { //bbvet:allow float-compare -- zero is the "first row" sentinel; makespans are strictly positive
 				baseline = res.Makespan
 			}
 			t.Rows = append(t.Rows, []string{

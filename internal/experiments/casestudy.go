@@ -120,7 +120,7 @@ func RunFig14(opts Options) ([]*Table, error) {
 	}
 	refAt := func(q float64) string {
 		for i, rq := range refFracs {
-			if rq == q {
+			if rq == q { //bbvet:allow float-compare -- both fractions come verbatim from the same literal sweep table; exact match is the lookup key
 				return fmt.Sprintf("%.2f", refSpeedup[i])
 			}
 		}
@@ -131,7 +131,7 @@ func RunFig14(opts Options) ([]*Table, error) {
 		row := []string{ffrac(q), fmt.Sprintf("%.2f", coriSpeedup[i]), fmt.Sprintf("%.2f", summitSpeedup[i]), refAt(q)}
 		t.Rows = append(t.Rows, row)
 		for j, rq := range refFracs {
-			if rq == q {
+			if rq == q { //bbvet:allow float-compare -- both fractions come verbatim from the same literal sweep table; exact match is the lookup key
 				simAtRef = append(simAtRef, coriSpeedup[i])
 				refVals = append(refVals, refSpeedup[j])
 			}

@@ -12,6 +12,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"time"
 	"unicode/utf8"
 
 	"bbwfsim/internal/calib"
@@ -33,6 +34,13 @@ type Options struct {
 	// Quick shrinks sweeps (fewer fractions, pipeline counts, reps) for
 	// benchmarks and smoke tests.
 	Quick bool
+	// Stopwatch, when non-nil, returns elapsed wall time and enables the
+	// wall-clock columns of the scalability experiment. It is nil by
+	// default so experiment output depends only on inputs (bit-identical
+	// repeated runs); callers that want real timings inject a clock, as
+	// `bbexp -walltime` does. Deterministic packages cannot read the wall
+	// clock themselves (bbvet's no-walltime rule).
+	Stopwatch func() time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -81,20 +89,28 @@ func (t *Table) Fprint(w io.Writer) error {
 		}
 		return strings.TrimRight(strings.Join(parts, "  "), " ")
 	}
-	fmt.Fprintln(w, line(t.Header))
+	if _, err := fmt.Fprintln(w, line(t.Header)); err != nil {
+		return err
+	}
 	sep := make([]string, len(t.Header))
 	for i := range sep {
 		sep[i] = strings.Repeat("-", widths[i])
 	}
-	fmt.Fprintln(w, line(sep))
+	if _, err := fmt.Fprintln(w, line(sep)); err != nil {
+		return err
+	}
 	for _, row := range t.Rows {
-		fmt.Fprintln(w, line(row))
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
 	}
 	for _, n := range t.Notes {
-		fmt.Fprintf(w, "note: %s\n", n)
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
 	}
-	fmt.Fprintln(w)
-	return nil
+	_, err := fmt.Fprintln(w)
+	return err
 }
 
 // CSV renders the table as comma-separated values (header first). Cells

@@ -79,6 +79,7 @@ func candidates(wf *workflow.Workflow) []*workflow.File {
 
 func setBytes(wf *workflow.Workflow, ids map[string]bool) units.Bytes {
 	var total units.Bytes
+	//bbvet:ordered -- file sizes are integral and exactly representable in float64, so the sum is exact and order-independent
 	for id := range ids {
 		if f := wf.File(id); f != nil {
 			total += f.Size()
@@ -89,6 +90,7 @@ func setBytes(wf *workflow.Workflow, ids map[string]bool) units.Bytes {
 
 func toSet(name string, ids map[string]bool) *placement.Set {
 	list := make([]string, 0, len(ids))
+	//bbvet:ordered -- collected keys are sorted immediately below
 	for id := range ids {
 		list = append(list, id)
 	}
@@ -150,6 +152,7 @@ func LocalSearch(wf *workflow.Workflow, oracle Oracle, p Params) (*Result, error
 			// Evict random residents until the budget fits.
 			for setBytes(wf, next) > p.Budget && len(next) > 1 {
 				keys := make([]string, 0, len(next))
+				//bbvet:ordered -- collected keys are sorted immediately below before the seeded draw
 				for id := range next {
 					keys = append(keys, id)
 				}

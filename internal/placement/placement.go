@@ -43,6 +43,7 @@ func (s *Set) Count() int { return len(s.ids) }
 // BBBytes returns the total size this policy puts on the BB.
 func (s *Set) BBBytes(wf *workflow.Workflow) units.Bytes {
 	var total units.Bytes
+	//bbvet:ordered -- file sizes are integral and exactly representable in float64, so the sum is exact and order-independent
 	for id := range s.ids {
 		if f := wf.File(id); f != nil {
 			total += f.Size()

@@ -40,7 +40,7 @@ func Std(xs []float64) float64 {
 // is 0.
 func CV(xs []float64) float64 {
 	m := Mean(xs)
-	if m == 0 {
+	if m == 0 { //bbvet:allow float-compare -- exact-zero guard against division by zero
 		return 0
 	}
 	return Std(xs) / m
@@ -80,8 +80,9 @@ func Median(xs []float64) float64 {
 // RelErr returns |predicted − reference| / reference. A zero reference with
 // nonzero prediction yields +Inf.
 func RelErr(predicted, reference float64) float64 {
+	//bbvet:allow float-compare -- exact-zero guard against division by zero (and 0/0 below)
 	if reference == 0 {
-		if predicted == 0 {
+		if predicted == 0 { //bbvet:allow float-compare -- distinguishes the exact 0/0 case
 			return 0
 		}
 		return math.Inf(1)
@@ -109,7 +110,7 @@ func MeanRelErr(predicted, reference []float64) (float64, error) {
 func Speedup(baseline float64, series []float64) []float64 {
 	out := make([]float64, len(series))
 	for i, x := range series {
-		if x == 0 {
+		if x == 0 { //bbvet:allow float-compare -- exact-zero guard against division by zero
 			out[i] = math.Inf(1)
 			continue
 		}

@@ -271,6 +271,7 @@ func (m *Manager) Copy(node *platform.Node, f *workflow.File, src, dst Service, 
 	readCap := src.StreamCap(node)
 	writeCap := dst.StreamCap(node)
 	cap := readCap
+	//bbvet:allow float-compare -- zero is the "uncapped" sentinel bandwidth, never a computed rate
 	if cap == 0 || (writeCap > 0 && writeCap < cap) {
 		cap = writeCap
 	}

@@ -69,6 +69,7 @@ func (r *Registry) Creator(f *workflow.File, svc Service) *platform.Node {
 // Locations returns the services holding f, sorted by name for determinism.
 func (r *Registry) Locations(f *workflow.File) []Service {
 	var svcs []Service
+	//bbvet:ordered -- collected services are sorted by name immediately below
 	for svc := range r.locations[f] {
 		svcs = append(svcs, svc)
 	}

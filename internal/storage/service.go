@@ -201,6 +201,7 @@ func (s *localService) StreamCap(node *platform.Node) units.Bandwidth {
 		return s.streamCap
 	}
 	// Remote access is additionally bounded by the fabric path.
+	//bbvet:allow float-compare -- zero is the "uncapped" sentinel bandwidth, never a computed rate
 	if s.remoteCap > 0 && (s.streamCap == 0 || s.remoteCap < s.streamCap) {
 		return s.remoteCap
 	}

@@ -83,16 +83,16 @@ func (p *Params) withDefaults() Params {
 	if q.Images == 0 {
 		q.Images = ImagesPerPipeline
 	}
-	if q.ResampleWork == 0 {
+	if q.ResampleWork == 0 { //bbvet:allow float-compare -- zero is the "use default" sentinel for an unset parameter
 		q.ResampleWork = ResampleWork
 	}
-	if q.CombineWork == 0 {
+	if q.CombineWork == 0 { //bbvet:allow float-compare -- zero is the "use default" sentinel for an unset parameter
 		q.CombineWork = CombineWork
 	}
-	if q.ResampleAlpha == 0 {
+	if q.ResampleAlpha == 0 { //bbvet:allow float-compare -- zero is the "use default" sentinel for an unset parameter
 		q.ResampleAlpha = q.Alpha
 	}
-	if q.CombineAlpha == 0 {
+	if q.CombineAlpha == 0 { //bbvet:allow float-compare -- zero is the "use default" sentinel for an unset parameter
 		q.CombineAlpha = q.Alpha
 	}
 	return q

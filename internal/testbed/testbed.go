@@ -263,6 +263,7 @@ func (m *opModel) Adjust(ctx storage.OpContext, base storage.OpParams) storage.O
 		}
 		p.Latency += m.prof.BBMetaPenalty * float64(ctx.InFlight)
 		if !stageWrite && m.prof.SmallFileStreamCap > 0 && ctx.File.Size() < m.prof.SmallFileThreshold {
+			//bbvet:allow float-compare -- zero is the "uncapped" sentinel bandwidth, never a computed rate
 			if p.RateCap == 0 || m.prof.SmallFileStreamCap < p.RateCap {
 				p.RateCap = m.prof.SmallFileStreamCap
 			}

@@ -26,6 +26,7 @@ func (t *Trace) RenderGantt(w io.Writer, width int) error {
 	}
 	records := append([]*TaskRecord{}, t.records...)
 	sort.SliceStable(records, func(i, j int) bool {
+		//bbvet:allow float-compare -- sort tie-break: exact equality falls through to the TaskID tie-breaker for a deterministic order
 		if records[i].StartedAt != records[j].StartedAt {
 			return records[i].StartedAt < records[j].StartedAt
 		}

@@ -213,6 +213,7 @@ func (t *Trace) Gantt() []GanttRow {
 		}
 	}
 	sort.Slice(rows, func(i, j int) bool {
+		//bbvet:allow float-compare -- sort tie-break: exact equality falls through to the TaskID tie-breaker for a deterministic order
 		if rows[i].Start != rows[j].Start {
 			return rows[i].Start < rows[j].Start
 		}

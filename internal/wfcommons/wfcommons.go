@@ -163,6 +163,7 @@ func (tr *Trace) ToWorkflow(opts Options) (*workflow.Workflow, error) {
 				return nil, fmt.Errorf("wfcommons: file %q has negative size", f.Name)
 			}
 			if prev, seen := sizes[f.Name]; seen {
+				//bbvet:allow float-compare -- input validation: two declarations of one file must agree bit-for-bit; any drift is a corrupt instance
 				if prev != f.SizeInBytes {
 					return nil, fmt.Errorf("wfcommons: file %q has inconsistent sizes (%g vs %g)",
 						f.Name, prev, f.SizeInBytes)

@@ -52,13 +52,13 @@ type Params struct {
 
 func (p *Params) withDefaults() Params {
 	q := *p
-	if q.Work == 0 {
+	if q.Work == 0 { //bbvet:allow float-compare -- zero is the "use default" sentinel for an unset parameter
 		q.Work = units.Flops(60 * 36.80e9)
 	}
 	if q.Cores == 0 {
 		q.Cores = 1
 	}
-	if q.LambdaIO == 0 {
+	if q.LambdaIO == 0 { //bbvet:allow float-compare -- zero is the "use default" sentinel for an unset parameter
 		q.LambdaIO = 0.2
 	}
 	if q.Regime.Count == 0 {
