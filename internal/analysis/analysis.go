@@ -139,7 +139,7 @@ func isRuleName(name string) bool {
 var simPackages = map[string]bool{
 	"sim": true, "flow": true, "exec": true, "core": true,
 	"storage": true, "testbed": true, "calib": true,
-	"placement": true, "optimize": true,
+	"placement": true, "optimize": true, "faults": true,
 }
 
 // kernelPackages is the single-threaded discrete-event core whose

@@ -116,6 +116,64 @@ func TestEngineStopsAtWorkflowEnd(t *testing.T) {
 	}
 }
 
+func TestMidRunTerminationCountersConsistent(t *testing.T) {
+	// End the workflow while a checkpoint write is still in flight: the
+	// interrupted wave must not count, the byte counter must agree with the
+	// wave counter, and no stray events may fire after the workflow end.
+	e := sim.NewEngine()
+	p := platform.MustNew(e, testConfig())
+	sys := storage.NewSystem(p, nil)
+	wf := workflow.New("wf")
+	wf.MustAddTask(workflow.TaskSpec{ID: "t", Work: 2e9}) // 2 s
+	// PFS disk 100 MB/s → each 80 MB wave takes 0.8 s. Waves start at 0.9
+	// and 1.8; the second is still in flight when the workflow ends at 2.0.
+	inj := MustNew(Params{Interval: 0.9, Size: 80 * units.MB, ToBB: false})
+	tr, err := exec.Run(sys, wf, exec.Config{Background: []exec.Background{inj}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(tr.Makespan(), 2.0, 1e-9) {
+		t.Fatalf("makespan = %v, want 2.0", tr.Makespan())
+	}
+	if inj.Waves != 1 {
+		t.Errorf("Waves = %d, want 1 (second wave interrupted mid-write)", inj.Waves)
+	}
+	if want := units.Bytes(inj.Waves) * 80 * units.MB; inj.BytesWritten != want {
+		t.Errorf("BytesWritten = %v, inconsistent with %d waves (want %v)", inj.BytesWritten, inj.Waves, want)
+	}
+	// Draining the queue past the stop point must not complete the
+	// interrupted wave or schedule new ones at the stopped virtual time —
+	// the engine halted inside the workflow-completion event, so counters
+	// are final.
+	waves, bytes := inj.Waves, inj.BytesWritten
+	if e.Now() > 2.0+1e-9 {
+		t.Errorf("engine advanced to %v after workflow end", e.Now())
+	}
+	if inj.Waves != waves || inj.BytesWritten != bytes {
+		t.Errorf("counters moved after workflow end: %d/%v -> %d/%v", waves, bytes, inj.Waves, inj.BytesWritten)
+	}
+}
+
+func TestTerminationBeforeFirstWave(t *testing.T) {
+	// A workflow shorter than FirstWave terminates with zero checkpoint
+	// activity — no waves, no bytes, no files left on any service.
+	e := sim.NewEngine()
+	p := platform.MustNew(e, testConfig())
+	sys := storage.NewSystem(p, nil)
+	wf := workflow.New("wf")
+	wf.MustAddTask(workflow.TaskSpec{ID: "t", Work: 1e9}) // 1 s
+	inj := MustNew(Params{Interval: 5, Size: 10 * units.MB, ToBB: true})
+	if _, err := exec.Run(sys, wf, exec.Config{Background: []exec.Background{inj}}); err != nil {
+		t.Fatal(err)
+	}
+	if inj.Waves != 0 || inj.BytesWritten != 0 {
+		t.Errorf("injector ran before its first wave: %d waves, %v", inj.Waves, inj.BytesWritten)
+	}
+	if used := sys.SharedBB().Used(); used != 0 {
+		t.Errorf("BB used = %v with no completed wave", used)
+	}
+}
+
 func TestFullTargetDegradesGracefully(t *testing.T) {
 	cfg := testConfig()
 	cfg.BB.Capacity = 50 * units.MB

@@ -89,6 +89,44 @@ type RunOptions struct {
 	// Background loads share the platform with the workflow (e.g.
 	// checkpoint traffic, internal/checkpoint).
 	Background []exec.Background
+	// Faults injects seeded failures into the run (internal/faults). Fault
+	// models are single-use, so a fresh one is needed per Run.
+	Faults exec.FaultModel
+	// Retry bounds and paces re-execution of fault-killed tasks.
+	Retry exec.RetryPolicy
+	// BBFallback redirects writes whose burst-buffer target is full to the
+	// PFS instead of failing the run.
+	BBFallback bool
+}
+
+// FaultStats counts the fault and recovery events of one execution.
+type FaultStats struct {
+	// TaskFailures is the number of aborted task attempts (crashes, node
+	// failures, and lost-input aborts).
+	TaskFailures int
+	// Retries is the number of re-executions (failed tasks re-queued plus
+	// finished tasks re-run after losing their only output replica).
+	Retries int
+	// NodeFailures is the number of whole-node outages.
+	NodeFailures int
+	// BBRejections is the number of rejected burst-buffer allocations.
+	BBRejections int
+	// Fallbacks is the number of writes redirected to the PFS.
+	Fallbacks int
+	// DegradeWindows is the number of bandwidth-degradation windows opened.
+	DegradeWindows int
+}
+
+// faultStats derives the counters from a trace.
+func faultStats(tr *trace.Trace) FaultStats {
+	return FaultStats{
+		TaskFailures:   tr.CountKind(trace.TaskFail),
+		Retries:        tr.CountKind(trace.TaskRetry),
+		NodeFailures:   tr.CountKind(trace.NodeFail),
+		BBRejections:   tr.CountKind(trace.BBReject),
+		Fallbacks:      tr.CountKind(trace.Fallback),
+		DegradeWindows: tr.CountKind(trace.DegradeStart),
+	}
 }
 
 // Result is the outcome of one simulated execution.
@@ -106,6 +144,9 @@ type Result struct {
 	// simulator's deterministic cost metric (wall time is not part of a
 	// Result, so repeated runs stay bit-identical).
 	Events uint64
+	// Faults counts the run's fault and recovery events; all zero on
+	// fault-free runs.
+	Faults FaultStats
 }
 
 // MeanTaskTime returns the mean execution time of a task category, or an
@@ -139,6 +180,9 @@ func (s *Simulator) Run(wf *workflow.Workflow, opts RunOptions) (*Result, error)
 		EnforcePrivateVisibility: opts.EnforcePrivateVisibility,
 		EvictAfterLastRead:       opts.EvictAfterLastRead,
 		Background:               opts.Background,
+		Faults:                   opts.Faults,
+		Retry:                    opts.Retry,
+		BBFallback:               opts.BBFallback,
 	})
 	if err != nil {
 		return nil, err
@@ -150,6 +194,7 @@ func (s *Simulator) Run(wf *workflow.Workflow, opts RunOptions) (*Result, error)
 		BB:        sys.BBStats(),
 		PFS:       sys.Manager().Stats(sys.PFS()),
 		Events:    eng.EventsFired(),
+		Faults:    faultStats(tr),
 	}, nil
 }
 

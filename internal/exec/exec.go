@@ -8,10 +8,16 @@
 // law on its allocated cores, then writes all its outputs (concurrent
 // streams). A stage-in task copies its files into the burst buffer one at a
 // time ("the stage-in task is always sequential").
+//
+// Each execution of a task is an *attempt* (see recovery.go): under fault
+// injection an attempt may be aborted mid-phase and the task retried on a
+// surviving node, within the budget of Config.Retry.
 package exec
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 
 	"bbwfsim/internal/platform"
 	"bbwfsim/internal/storage"
@@ -62,7 +68,8 @@ type Config struct {
 	// OrderPolicy orders the ready queue (default OrderFIFO).
 	OrderPolicy OrderPolicy
 	// CoresPerTask overrides every compute task's requested core count when
-	// positive (the paper's "number of cores per task" sweeps).
+	// positive (the paper's "number of cores per task" sweeps). Negative
+	// values are rejected.
 	CoresPerTask int
 	// PrePlaceInputs places workflow input files (files with no producer)
 	// on their stage targets at time zero with no cost, in addition to the
@@ -88,6 +95,20 @@ type Config struct {
 	// before execution and stop implicitly when the workflow completes
 	// (the engine halts at the last task's finish).
 	Background []Background
+	// Faults injects failures into the run (internal/faults). Nil — the
+	// default — simulates a fault-free platform; such runs take identical
+	// code paths and produce bit-identical traces whether or not this
+	// feature exists. A model is single-use: build a fresh one per Run.
+	Faults FaultModel
+	// Retry bounds and paces re-execution of fault-killed tasks. Only
+	// consulted when a fault actually kills something; the zero value
+	// makes the first failure fatal.
+	Retry RetryPolicy
+	// BBFallback redirects a write to the PFS when its burst-buffer target
+	// has no space, instead of failing the run (graceful degradation — the
+	// workflow slows down rather than dying). Rejections injected by the
+	// fault model always fall back, with or without this flag.
+	BBFallback bool
 }
 
 // Background is a load generator that shares the platform with the
@@ -101,6 +122,15 @@ type Background interface {
 // Run simulates the workflow on the storage system's platform and returns
 // the trace. The storage system must be freshly built (no prior traffic).
 func Run(sys *storage.System, wf *workflow.Workflow, cfg Config) (*trace.Trace, error) {
+	if wf == nil {
+		return nil, fmt.Errorf("exec: nil workflow")
+	}
+	if cfg.CoresPerTask < 0 {
+		return nil, fmt.Errorf("exec: negative CoresPerTask %d", cfg.CoresPerTask)
+	}
+	if err := cfg.Retry.validate(); err != nil {
+		return nil, err
+	}
 	if cfg.Placement == nil {
 		cfg.Placement = PFSOnly{}
 	}
@@ -131,6 +161,13 @@ func Run(sys *storage.System, wf *workflow.Workflow, cfg Config) (*trace.Trace, 
 		remaining: map[*workflow.Task]int{},
 		readers:   map[*workflow.File]int{},
 		done:      map[*workflow.Task]bool{},
+		doneOnce:  map[*workflow.Task]bool{},
+		active:    map[*workflow.Task]*attempt{},
+		tries:     map[*workflow.Task]int{},
+		kills:     map[*workflow.Task]int{},
+	}
+	if cfg.Faults != nil && cfg.Retry.Jitter > 0 {
+		e.retryRng = rand.New(rand.NewSource(cfg.Retry.Seed))
 	}
 	for _, f := range wf.Files() {
 		e.readers[f] = len(f.Consumers())
@@ -147,6 +184,9 @@ func Run(sys *storage.System, wf *workflow.Workflow, cfg Config) (*trace.Trace, 
 	for _, bg := range cfg.Background {
 		bg.Start(sys)
 	}
+	if cfg.Faults != nil {
+		cfg.Faults.Attach(e)
+	}
 	e.schedule()
 	sys.Platform().Engine().Run()
 	if e.err != nil {
@@ -155,6 +195,11 @@ func Run(sys *storage.System, wf *workflow.Workflow, cfg Config) (*trace.Trace, 
 	if e.finished != len(wf.Tasks()) {
 		return nil, fmt.Errorf("exec: deadlock: %d of %d tasks finished (cores exhausted or unsatisfiable request)",
 			e.finished, len(wf.Tasks()))
+	}
+	// Debug assert: failures, cancellations, and evictions must neither
+	// leak reserved space nor drive usage negative.
+	if err := sys.AuditCapacity(); err != nil {
+		return nil, err
 	}
 	return e.tr, nil
 }
@@ -166,10 +211,19 @@ type engine struct {
 	sched *scheduler
 	tr    *trace.Trace
 
-	remaining  map[*workflow.Task]int
-	readers    map[*workflow.File]int // consumers not yet finished
-	ready      []*workflow.Task       // sorted by the scheduler's order
-	done       map[*workflow.Task]bool
+	remaining map[*workflow.Task]int
+	readers   map[*workflow.File]int // consumers not yet finished
+	ready     []*workflow.Task       // sorted by the scheduler's order
+	done      map[*workflow.Task]bool
+	// doneOnce stays true once a task has finished at least once, so a
+	// lineage re-execution (recovery.go) cannot double-decrement the
+	// readers counters.
+	doneOnce map[*workflow.Task]bool
+	active   map[*workflow.Task]*attempt
+	tries    map[*workflow.Task]int // attempts started, per task
+	kills    map[*workflow.Task]int // fault-charged failures, per task
+	retryRng *rand.Rand             // jitter stream; nil unless configured
+
 	finished   int
 	running    int
 	inSchedule bool
@@ -245,7 +299,9 @@ func (e *engine) cores(t *workflow.Task, n *platform.Node) int {
 // first-fit in node order, tasks in index order. Tasks leave the ready list
 // before they start, and the reentrancy guard keeps synchronous task
 // completions (e.g. zero-cost stage-ins) from recursing back in; the outer
-// loop rescans until a full pass starts nothing.
+// loop rescans until a full pass starts nothing. Down nodes refuse every
+// task (platform.Node.HasResources), so under fault injection this is also
+// where work re-routes onto surviving nodes.
 func (e *engine) schedule() {
 	if e.err != nil || e.inSchedule {
 		return
@@ -280,29 +336,35 @@ func (e *engine) schedule() {
 }
 
 func (e *engine) startTask(t *workflow.Task, node *platform.Node, cores int) {
+	e.tries[t]++
+	a := &attempt{task: t, node: node, cores: cores, n: e.tries[t]}
+	e.active[t] = a
 	rec := e.tr.Task(t.ID())
 	rec.Name = t.Name()
 	rec.Node = node.Name()
 	rec.Cores = cores
 	rec.StartedAt = e.now()
+	rec.Retries = a.n - 1
 	e.tr.Record(e.now(), trace.TaskStart, t.ID(), node.Name())
 	switch t.Kind() {
 	case workflow.KindStageIn:
-		e.runStageIn(t, node, cores, 0)
+		e.runStageIn(a, 0)
 	case workflow.KindStageOut:
-		e.runStageOut(t, node, cores, 0)
+		e.runStageOut(a, 0)
 	default:
-		e.runReads(t, node, cores)
+		e.runReads(a)
 	}
 }
 
 // runStageOut drains the task's input files back to the PFS one at a
 // time, starting at index i. Files already resident on the PFS cost
-// nothing; burst-buffer-only files pay a copy through this node.
-func (e *engine) runStageOut(t *workflow.Task, node *platform.Node, cores, i int) {
-	if e.err != nil {
+// nothing; burst-buffer-only files pay a copy through this node. A retried
+// stage-out resumes past the files that already reached the PFS.
+func (e *engine) runStageOut(a *attempt, i int) {
+	if e.err != nil || a.aborted {
 		return
 	}
+	t, node := a.task, a.node
 	ins := t.Inputs()
 	for i < len(ins) {
 		f := ins[i]
@@ -312,36 +374,46 @@ func (e *engine) runStageOut(t *workflow.Task, node *platform.Node, cores, i int
 		}
 		src, err := e.sys.Registry().BestVisible(f, node, e.cfg.EnforcePrivateVisibility)
 		if err != nil {
+			if e.recoverLostInput(a, f) {
+				return
+			}
 			e.fail(fmt.Errorf("exec: stage-out %s: %w", t.ID(), err))
 			return
 		}
 		next := i + 1
 		e.tr.Record(e.now(), trace.StageStart, t.ID(), f.ID()+"@"+src.Name()+"->pfs")
-		_, cerr := e.sys.Manager().Copy(node, f, src, e.sys.PFS(), func() {
+		op, cerr := e.sys.Manager().Copy(node, f, src, e.sys.PFS(), func() {
+			if a.aborted {
+				return
+			}
 			e.tr.Record(e.now(), trace.StageEnd, t.ID(), f.ID()+"@pfs")
 			e.tr.Task(t.ID()).BytesWritten += f.Size()
-			e.runStageOut(t, node, cores, next)
+			e.runStageOut(a, next)
 		})
 		if cerr != nil {
 			e.fail(fmt.Errorf("exec: stage-out %s: %w", t.ID(), cerr))
+			return
 		}
+		e.track(a, op)
 		return
 	}
 	rec := e.tr.Task(t.ID())
 	rec.ReadDoneAt = e.now()
 	rec.ComputeDone = e.now()
-	e.finishTask(t, node, cores)
+	e.finishTask(a)
 }
 
 // runStageIn stages the task's output files one at a time, starting at
 // index i. Files whose target is the PFS materialize instantly (they
 // already reside on long-term storage); files bound for a burst buffer pay
 // a sequential write, whose completion callback resumes the loop at the
-// next file.
-func (e *engine) runStageIn(t *workflow.Task, node *platform.Node, cores, i int) {
-	if e.err != nil {
+// next file. A rejected or full burst-buffer target degrades gracefully:
+// the file simply stays on the PFS.
+func (e *engine) runStageIn(a *attempt, i int) {
+	if e.err != nil || a.aborted {
 		return
 	}
+	t, node := a.task, a.node
 	outs := t.Outputs()
 	for i < len(outs) {
 		f := outs[i]
@@ -357,22 +429,39 @@ func (e *engine) runStageIn(t *workflow.Task, node *platform.Node, cores, i int)
 			i++
 			continue
 		}
+		if e.cfg.Faults != nil && e.cfg.Faults.RejectBBAlloc(t, f) {
+			e.tr.Record(e.now(), trace.BBReject, t.ID(), f.ID()+"@"+svc.Name())
+			e.tr.Record(e.now(), trace.Fallback, t.ID(), f.ID()+"->pfs")
+			i++
+			continue
+		}
 		next := i + 1
 		e.tr.Record(e.now(), trace.StageStart, t.ID(), f.ID()+"->"+svc.Name())
-		_, err := e.sys.Manager().Write(node, f, svc, func() {
+		op, err := e.sys.Manager().Write(node, f, svc, func() {
+			if a.aborted {
+				return
+			}
 			e.tr.Record(e.now(), trace.StageEnd, t.ID(), f.ID())
 			e.tr.Task(t.ID()).BytesWritten += f.Size()
-			e.runStageIn(t, node, cores, next)
+			e.runStageIn(a, next)
 		})
 		if err != nil {
+			var full *storage.FullError
+			if e.cfg.BBFallback && errors.As(err, &full) {
+				e.tr.Record(e.now(), trace.Fallback, t.ID(), f.ID()+"->pfs (bb full)")
+				i++
+				continue
+			}
 			e.fail(fmt.Errorf("exec: stage-in %s: %w", t.ID(), err))
+			return
 		}
+		e.track(a, op)
 		return
 	}
 	rec := e.tr.Task(t.ID())
 	rec.ReadDoneAt = e.now()
 	rec.ComputeDone = e.now()
-	e.finishTask(t, node, cores)
+	e.finishTask(a)
 }
 
 // runReads reads the task's inputs with at most `cores` concurrent streams
@@ -380,24 +469,28 @@ func (e *engine) runStageIn(t *workflow.Task, node *platform.Node, cores, i int)
 // makes I/O time shrink with the core count (the behavior the paper's
 // Eq. 4 calibration implicitly assumes). It advances to the compute phase
 // when the last read completes.
-func (e *engine) runReads(t *workflow.Task, node *platform.Node, cores int) {
+func (e *engine) runReads(a *attempt) {
+	t := a.task
 	inputs := t.Inputs()
 	rec := e.tr.Task(t.ID())
 	if len(inputs) == 0 {
 		rec.ReadDoneAt = e.now()
-		e.runCompute(t, node, cores)
+		e.runCompute(a)
 		return
 	}
 	pending := len(inputs)
 	next := 0
 	var startOne func()
 	startOne = func() {
-		if e.err != nil || next >= len(inputs) {
+		if e.err != nil || a.aborted || next >= len(inputs) {
 			return
 		}
 		f := inputs[next]
 		next++
 		done := func() {
+			if a.aborted {
+				return
+			}
 			e.tr.Record(e.now(), trace.ReadEnd, t.ID(), f.ID())
 			rec.BytesRead += f.Size()
 			pending--
@@ -406,16 +499,16 @@ func (e *engine) runReads(t *workflow.Task, node *platform.Node, cores int) {
 			}
 			if pending == 0 {
 				rec.ReadDoneAt = e.now()
-				e.runCompute(t, node, cores)
+				e.runCompute(a)
 				return
 			}
 			startOne()
 		}
-		e.readInput(t, node, f, done)
+		e.readInput(a, f, done)
 	}
-	for i := 0; i < cores && i < len(inputs); i++ {
+	for i := 0; i < a.cores && i < len(inputs); i++ {
 		startOne()
-		if e.err != nil {
+		if e.err != nil || a.aborted {
 			return
 		}
 	}
@@ -425,40 +518,58 @@ func (e *engine) runReads(t *workflow.Task, node *platform.Node, cores int) {
 // rule: when the only replica sits on a private shared BB created by
 // another node, the creator first relocates it to the PFS (an on-demand
 // stage-out — the data-management cost the paper attributes to shared BB
-// designs), then the consumer reads the PFS copy.
-func (e *engine) readInput(t *workflow.Task, node *platform.Node, f *workflow.File, onDone func()) {
+// designs), then the consumer reads the PFS copy. Under fault injection a
+// file may have no replica at all (a node failure destroyed it after this
+// task was scheduled); the attempt then parks behind the producer's
+// re-execution instead of failing the run.
+func (e *engine) readInput(a *attempt, f *workflow.File, onDone func()) {
+	t, node := a.task, a.node
 	svc, err := e.sys.Registry().BestVisible(f, node, e.cfg.EnforcePrivateVisibility)
 	if err == nil {
 		e.tr.Record(e.now(), trace.ReadStart, t.ID(), f.ID()+"@"+svc.Name())
-		if _, rerr := e.sys.Manager().Read(node, f, svc, onDone); rerr != nil {
+		op, rerr := e.sys.Manager().Read(node, f, svc, onDone)
+		if rerr != nil {
 			e.fail(fmt.Errorf("exec: task %s read %s: %w", t.ID(), f.ID(), rerr))
+			return
 		}
+		e.track(a, op)
 		return
 	}
 	// No visible replica. If an invisible private-BB replica exists,
-	// relocate it through its creator; otherwise the workflow is broken.
+	// relocate it through its creator; otherwise recover the lineage (fault
+	// runs) or fail the run (the workflow is broken).
 	for _, loc := range e.sys.Registry().Locations(f) {
 		creator := e.sys.Registry().Creator(f, loc)
 		if loc.Kind() != storage.KindPFS && creator != nil && creator != node {
 			relocator := creator
 			e.tr.Record(e.now(), trace.StageStart, t.ID(), f.ID()+"@"+loc.Name()+"->pfs")
-			_, cerr := e.sys.Manager().Copy(relocator, f, loc, e.sys.PFS(), func() {
+			op, cerr := e.sys.Manager().Copy(relocator, f, loc, e.sys.PFS(), func() {
+				if a.aborted {
+					return
+				}
 				e.tr.Record(e.now(), trace.StageEnd, t.ID(), f.ID()+"@pfs")
 				if e.err != nil {
 					return
 				}
-				e.readInput(t, node, f, onDone)
+				e.readInput(a, f, onDone)
 			})
 			if cerr != nil {
 				e.fail(fmt.Errorf("exec: task %s relocate %s: %w", t.ID(), f.ID(), cerr))
+				return
 			}
+			e.track(a, op)
 			return
 		}
+	}
+	if e.recoverLostInput(a, f) {
+		return
 	}
 	e.fail(fmt.Errorf("exec: task %s: %w", t.ID(), err))
 }
 
-func (e *engine) runCompute(t *workflow.Task, node *platform.Node, cores int) {
+func (e *engine) runCompute(a *attempt) {
+	t, node, cores := a.task, a.node, a.cores
+	a.phase = phaseCompute
 	rec := e.tr.Task(t.ID())
 	e.tr.Record(e.now(), trace.ComputeStart, t.ID(), "")
 	var dur float64
@@ -471,28 +582,32 @@ func (e *engine) runCompute(t *workflow.Task, node *platform.Node, cores int) {
 	} else {
 		dur = node.ComputeTime(t.Work(), cores, t.Alpha())
 	}
-	e.sys.Platform().Engine().After(dur, func() {
+	a.computeEv = e.sys.Platform().Engine().After(dur, func() {
+		a.computeEv = nil
 		rec.ComputeDone = e.now()
 		e.tr.Record(e.now(), trace.ComputeEnd, t.ID(), "")
-		e.runWrites(t, node, cores)
+		e.runWrites(a)
 	})
 }
 
 // runWrites writes the task's outputs with at most `cores` concurrent
 // streams (see runReads) and finishes the task when the last one
-// completes.
-func (e *engine) runWrites(t *workflow.Task, node *platform.Node, cores int) {
+// completes. A burst-buffer target rejected by the fault model — or full,
+// when BBFallback is set — degrades to the PFS instead of failing the run.
+func (e *engine) runWrites(a *attempt) {
+	t, node := a.task, a.node
+	a.phase = phaseWrite
 	outputs := t.Outputs()
 	rec := e.tr.Task(t.ID())
 	if len(outputs) == 0 {
-		e.finishTask(t, node, cores)
+		e.finishTask(a)
 		return
 	}
 	pending := len(outputs)
 	next := 0
 	var startOne func()
 	startOne = func() {
-		if e.err != nil || next >= len(outputs) {
+		if e.err != nil || a.aborted || next >= len(outputs) {
 			return
 		}
 		f := outputs[next]
@@ -501,8 +616,15 @@ func (e *engine) runWrites(t *workflow.Task, node *platform.Node, cores int) {
 		if svc == nil {
 			svc = e.sys.PFS()
 		}
-		e.tr.Record(e.now(), trace.WriteStart, t.ID(), f.ID()+"@"+svc.Name())
-		_, err := e.sys.Manager().Write(node, f, svc, func() {
+		if svc != e.sys.PFS() && e.cfg.Faults != nil && e.cfg.Faults.RejectBBAlloc(t, f) {
+			e.tr.Record(e.now(), trace.BBReject, t.ID(), f.ID()+"@"+svc.Name())
+			e.tr.Record(e.now(), trace.Fallback, t.ID(), f.ID()+"->pfs")
+			svc = e.sys.PFS()
+		}
+		onDone := func() {
+			if a.aborted {
+				return
+			}
 			e.tr.Record(e.now(), trace.WriteEnd, t.ID(), f.ID())
 			rec.BytesWritten += f.Size()
 			pending--
@@ -510,32 +632,50 @@ func (e *engine) runWrites(t *workflow.Task, node *platform.Node, cores int) {
 				return
 			}
 			if pending == 0 {
-				e.finishTask(t, node, cores)
+				e.finishTask(a)
 				return
 			}
 			startOne()
-		})
+		}
+		e.tr.Record(e.now(), trace.WriteStart, t.ID(), f.ID()+"@"+svc.Name())
+		op, err := e.sys.Manager().Write(node, f, svc, onDone)
+		if err != nil && svc != e.sys.PFS() && e.cfg.BBFallback {
+			var full *storage.FullError
+			if errors.As(err, &full) {
+				e.tr.Record(e.now(), trace.Fallback, t.ID(), f.ID()+"->pfs (bb full)")
+				svc = e.sys.PFS()
+				e.tr.Record(e.now(), trace.WriteStart, t.ID(), f.ID()+"@"+svc.Name())
+				op, err = e.sys.Manager().Write(node, f, svc, onDone)
+			}
+		}
 		if err != nil {
 			e.fail(fmt.Errorf("exec: task %s write %s: %w", t.ID(), f.ID(), err))
+			return
 		}
+		e.track(a, op)
 	}
-	for i := 0; i < cores && i < len(outputs); i++ {
+	for i := 0; i < a.cores && i < len(outputs); i++ {
 		startOne()
-		if e.err != nil {
+		if e.err != nil || a.aborted {
 			return
 		}
 	}
 }
 
-func (e *engine) finishTask(t *workflow.Task, node *platform.Node, cores int) {
+func (e *engine) finishTask(a *attempt) {
+	t := a.task
 	rec := e.tr.Task(t.ID())
 	rec.FinishedAt = e.now()
 	e.tr.Record(e.now(), trace.TaskEnd, t.ID(), "")
-	node.ReleaseResources(cores, t.Memory())
+	a.node.ReleaseResources(a.cores, t.Memory())
 	e.running--
+	delete(e.active, t)
+	a.ops = nil
 	e.done[t] = true
 	e.finished++
-	if e.cfg.EvictAfterLastRead {
+	first := !e.doneOnce[t]
+	e.doneOnce[t] = true
+	if e.cfg.EvictAfterLastRead && first {
 		for _, f := range t.Inputs() {
 			e.readers[f]--
 			if e.readers[f] == 0 {
@@ -544,6 +684,12 @@ func (e *engine) finishTask(t *workflow.Task, node *platform.Node, cores int) {
 		}
 	}
 	for _, c := range t.Children() {
+		// Guards matter only under fault injection: a lineage re-execution
+		// must not decrement children that already ran (done) or that are
+		// not waiting on dependencies (remaining 0: running or retrying).
+		if e.done[c] || e.remaining[c] == 0 {
+			continue
+		}
 		e.remaining[c]--
 		if e.remaining[c] == 0 {
 			e.pushReady(c)

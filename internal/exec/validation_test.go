@@ -1,0 +1,52 @@
+package exec_test
+
+import (
+	"strings"
+	"testing"
+
+	"bbwfsim/internal/exec"
+	"bbwfsim/internal/workflow"
+)
+
+// TestNilWorkflowRejected: running without a workflow must be an error, not
+// a panic or an empty-trace success.
+func TestNilWorkflowRejected(t *testing.T) {
+	sys := newSystem(t, testConfig(1, 4))
+	if _, err := exec.Run(sys, nil, exec.Config{}); err == nil {
+		t.Fatal("Run accepted a nil workflow")
+	}
+}
+
+// TestNegativeCoresPerTaskRejected: a negative core override is a caller
+// bug and must be reported up front rather than clamped or ignored.
+func TestNegativeCoresPerTaskRejected(t *testing.T) {
+	sys := newSystem(t, testConfig(1, 4))
+	wf := workflow.New("one")
+	wf.MustAddTask(workflow.TaskSpec{ID: "t", Work: 1e9, Cores: 1})
+	_, err := exec.Run(sys, wf, exec.Config{CoresPerTask: -2})
+	if err == nil {
+		t.Fatal("Run accepted CoresPerTask = -2")
+	}
+	if !strings.Contains(err.Error(), "CoresPerTask") {
+		t.Errorf("error %q does not name the offending field", err)
+	}
+}
+
+// TestInvalidRetryPolicyRejected: retry policies are validated before the
+// simulation starts, for fault-free runs too.
+func TestInvalidRetryPolicyRejected(t *testing.T) {
+	bad := []exec.RetryPolicy{
+		{MaxRetries: -1},
+		{BaseDelay: -5},
+		{MaxDelay: -1},
+		{Jitter: -0.5},
+	}
+	for i, p := range bad {
+		sys := newSystem(t, testConfig(1, 4))
+		wf := workflow.New("one")
+		wf.MustAddTask(workflow.TaskSpec{ID: "t", Work: 1e9, Cores: 1})
+		if _, err := exec.Run(sys, wf, exec.Config{Retry: p}); err == nil {
+			t.Errorf("policy %d: Run accepted invalid retry policy %+v", i, p)
+		}
+	}
+}

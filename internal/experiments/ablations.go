@@ -19,7 +19,10 @@ import (
 // paper names as future work: with a burst buffer too small for the whole
 // 1000Genomes footprint, which selection policy wins?
 func RunAblationPlacement(opts Options) ([]*Table, error) {
-	o := opts.withDefaults()
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	chrom := 8
 	if o.Quick {
 		chrom = 2
@@ -84,7 +87,10 @@ func RunAblationPlacement(opts Options) ([]*Table, error) {
 // Eq. 3 using the machine's true Amdahl fractions, then predict testbed
 // executions at other core counts.
 func RunAblationModel(opts Options) ([]*Table, error) {
-	o := opts.withDefaults()
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	prof := testbed.CoriPrivate(1)
 	runner := testbed.NewRunner(prof, o.Seed)
 	anchorCores := 32

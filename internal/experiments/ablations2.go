@@ -14,7 +14,10 @@ import (
 // (first-fit / least-loaded / round-robin) crossed with ready-queue
 // ordering (FIFO / largest-work / critical-path).
 func RunAblationScheduler(opts Options) ([]*Table, error) {
-	o := opts.withDefaults()
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	chrom := 8
 	if o.Quick {
 		chrom = 2
@@ -78,7 +81,10 @@ func RunAblationScheduler(opts Options) ([]*Table, error) {
 // all-to-BB placement with evict-after-last-read versus static budgeted
 // placements versus no BB at all.
 func RunAblationLifecycle(opts Options) ([]*Table, error) {
-	o := opts.withDefaults()
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	chrom := 8
 	if o.Quick {
 		chrom = 2
@@ -137,7 +143,10 @@ func RunAblationLifecycle(opts Options) ([]*Table, error) {
 // one node must be relocated through the PFS before another node can read
 // them.
 func RunAblationVisibility(opts Options) ([]*Table, error) {
-	o := opts.withDefaults()
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	chrom := 8
 	if o.Quick {
 		chrom = 2

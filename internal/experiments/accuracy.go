@@ -14,7 +14,10 @@ import (
 // configurations. The simulator is calibrated once per configuration from
 // the all-BB anchor observation via Eq. 4, exactly the paper's procedure.
 func RunFig10(opts Options) ([]*Table, error) {
-	o := opts.withDefaults()
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	var tables []*Table
 	for _, prof := range orderedProfiles(1) {
 		simWF, err := calibrateSwarp(prof, 1, 32, o)
@@ -71,7 +74,10 @@ func RunFig10(opts Options) ([]*Table, error) {
 // Calibration uses the one-pipeline single-core anchor, matching the
 // paper's per-experiment calibration.
 func RunFig11(opts Options) ([]*Table, error) {
-	o := opts.withDefaults()
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	var tables []*Table
 	for _, prof := range orderedProfiles(1) {
 		simWF1, err := calibrateSwarp(prof, 1, 1, o)

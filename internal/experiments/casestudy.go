@@ -53,7 +53,10 @@ func runFig13Series(o Options) ([]float64, []float64, []float64, error) {
 // 1000Genomes workflow on Cori and Summit as the fraction of input files
 // allocated in the BB varies.
 func RunFig13(opts Options) ([]*Table, error) {
-	o := opts.withDefaults()
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	fracs, coriMs, summitMs, err := runFig13Series(o)
 	if err != nil {
 		return nil, err
@@ -88,7 +91,10 @@ func RunFig13(opts Options) ([]*Table, error) {
 // paper lists (different task-dependency structure, different machine
 // state).
 func RunFig14(opts Options) ([]*Table, error) {
-	o := opts.withDefaults()
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	fracs, coriMs, summitMs, err := runFig13Series(o)
 	if err != nil {
 		return nil, err

@@ -10,7 +10,10 @@ import (
 
 // RunTable1 renders Table I: the platform calibration parameters the
 // lightweight simulator uses.
-func RunTable1(o Options) ([]*Table, error) {
+func RunTable1(opts Options) ([]*Table, error) {
+	if _, err := opts.withDefaults(); err != nil {
+		return nil, err
+	}
 	t := &Table{
 		ID:     "table1",
 		Title:  "Input parameters used in simulation (Table I)",
@@ -42,7 +45,10 @@ func RunTable1(o Options) ([]*Table, error) {
 // SWarp (32 cores per task) versus the percentage of input files staged
 // into the burst buffer, on all three machines.
 func RunFig4(opts Options) ([]*Table, error) {
-	o := opts.withDefaults()
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		ID:     "fig4",
 		Title:  "Stage-in time vs. % of input files in BB (1 pipeline, 32 cores/task)",
@@ -73,7 +79,10 @@ func RunFig4(opts Options) ([]*Table, error) {
 // mode, with intermediates on the BB versus on the PFS, sweeping the
 // fraction of input files staged (1 pipeline, 32 cores per task).
 func RunFig5(opts Options) ([]*Table, error) {
-	o := opts.withDefaults()
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	wf := testbedSwarp(1, 32)
 	profiles := orderedProfiles(1)
 	tables := make([]*Table, 0, 2)
@@ -111,7 +120,10 @@ func RunFig5(opts Options) ([]*Table, error) {
 // RunFig6 reproduces Figure 6: execution time versus cores per task with
 // all data in the burst buffer (1 pipeline).
 func RunFig6(opts Options) ([]*Table, error) {
-	o := opts.withDefaults()
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	profiles := orderedProfiles(1)
 	tables := make([]*Table, 0, 2)
 	for _, taskName := range []string{"resample", "combine"} {
@@ -145,7 +157,10 @@ func RunFig6(opts Options) ([]*Table, error) {
 // concurrent pipelines on one node (1 core per task, everything in the
 // BB).
 func RunFig7(opts Options) ([]*Table, error) {
-	o := opts.withDefaults()
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	profiles := orderedProfiles(1)
 	var tables []*Table
 	for _, taskName := range []string{"stage_in", "resample", "combine"} {
@@ -178,7 +193,10 @@ func RunFig7(opts Options) ([]*Table, error) {
 // RunFig8 reproduces Figure 8: run-to-run variability (coefficient of
 // variation and range) of Resample versus the number of pipelines.
 func RunFig8(opts Options) ([]*Table, error) {
-	o := opts.withDefaults()
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	profiles := orderedProfiles(1)
 	t := &Table{
 		ID:     "fig8",
@@ -206,7 +224,10 @@ func RunFig8(opts Options) ([]*Table, error) {
 // RunFig9 reproduces Figure 9: the average achieved I/O bandwidth of each
 // burst-buffer configuration, measured over an 8-pipeline all-BB run.
 func RunFig9(opts Options) ([]*Table, error) {
-	o := opts.withDefaults()
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		ID:     "fig9",
 		Title:  "Average achieved BB bandwidth (8 pipelines, 32 cores/task, all data in BB)",

@@ -17,7 +17,10 @@ import (
 // architectures. Related studies (Mubarak et al., cited by the paper)
 // quantify exactly this interference class.
 func RunAblationCheckpoint(opts Options) ([]*Table, error) {
-	o := opts.withDefaults()
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	pipelines := 8
 	if o.Quick {
 		pipelines = 4

@@ -43,8 +43,18 @@ type Options struct {
 	Stopwatch func() time.Duration
 }
 
-func (o Options) withDefaults() Options {
+// withDefaults validates the options and fills the defaults in. Invalid
+// values (negative repetition counts or seeds) error out here, before any
+// experiment spends time simulating, and the error surfaces through every
+// Run* entry point.
+func (o Options) withDefaults() (Options, error) {
 	q := o
+	if q.Reps < 0 {
+		return q, fmt.Errorf("experiments: negative repetition count %d", q.Reps)
+	}
+	if q.Seed < 0 {
+		return q, fmt.Errorf("experiments: negative seed %d", q.Seed)
+	}
 	if q.Reps == 0 {
 		q.Reps = 15
 		if q.Quick {
@@ -54,7 +64,7 @@ func (o Options) withDefaults() Options {
 	if q.Seed == 0 {
 		q.Seed = 1
 	}
-	return q
+	return q, nil
 }
 
 // Table is one rendered result table.
@@ -177,6 +187,8 @@ func All() []Experiment {
 		{"ablation-lambda", "Ablation: λ_io from the paper's PFS values vs. measured on the target mode", RunAblationLambda},
 		{"ablation-structures", "Ablation: which workflow structures benefit from burst buffers", RunAblationStructures},
 		{"ablation-sizing", "Ablation: burst-buffer capacity provisioning", RunAblationSizing},
+		{"resilience", "Resilience: fault injection & recovery on SWarp", RunResilience},
+		{"resilience-genomes", "Resilience: fault injection & recovery on 1000Genomes", RunResilienceGenomes},
 		{"scalability", "Simulator cost vs. workflow size", RunScalability},
 	}
 }

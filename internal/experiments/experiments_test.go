@@ -42,6 +42,18 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 	}
 }
 
+// TestInvalidOptionsRejected: option validation in withDefaults surfaces
+// through every Run* entry point before any simulation runs.
+func TestInvalidOptionsRejected(t *testing.T) {
+	for _, opts := range []Options{{Reps: -1}, {Seed: -7}} {
+		for _, e := range All() {
+			if _, err := e.Run(opts); err == nil {
+				t.Errorf("%s: accepted invalid options %+v", e.ID, opts)
+			}
+		}
+	}
+}
+
 func TestFindKnowsAllIDs(t *testing.T) {
 	for _, e := range All() {
 		if got, ok := Find(e.ID); !ok || got.ID != e.ID {

@@ -43,7 +43,10 @@ func lambdaFromTrace(tr *trace.Trace) map[string]float64 {
 // calibrated compute time. Accurate λ calibration only pays off once the
 // simulator's I/O model captures the mode's behavior.
 func RunAblationLambda(opts Options) ([]*Table, error) {
-	o := opts.withDefaults()
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	var tables []*Table
 	for _, prof := range orderedProfiles(1) {
 		runner := testbed.NewRunner(prof, o.Seed)

@@ -16,7 +16,10 @@ import (
 // simulator as an oracle to search the data-placement space, and quantify
 // the benefit over the static heuristics.
 func RunAblationOptimizer(opts Options) ([]*Table, error) {
-	o := opts.withDefaults()
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	chrom := 6
 	iters := 150
 	if o.Quick {
@@ -106,7 +109,10 @@ func RunAblationOptimizer(opts Options) ([]*Table, error) {
 // wall time), so repeated runs emit bit-identical tables. Injecting
 // Options.Stopwatch adds wall-clock columns for interactive use.
 func RunScalability(opts Options) ([]*Table, error) {
-	o := opts.withDefaults()
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	header := []string{"tasks", "files", "events", "events per sim-second"}
 	if o.Stopwatch != nil {
 		header = append(header, "wall time [ms]", "sim-seconds per wall-second")

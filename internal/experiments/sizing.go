@@ -14,7 +14,10 @@ import (
 // workflow footprint and find where the makespan curve flattens — the
 // knee beyond which more burst buffer buys nothing.
 func RunAblationSizing(opts Options) ([]*Table, error) {
-	o := opts.withDefaults()
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	chrom := 8
 	if o.Quick {
 		chrom = 2

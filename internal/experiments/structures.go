@@ -16,7 +16,10 @@ import (
 // small files vs. few large files, equal bytes) over the three machine
 // configurations, reporting the all-BB speedup over all-PFS on each.
 func RunAblationStructures(opts Options) ([]*Table, error) {
-	o := opts.withDefaults()
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	reps := o.Reps
 	if reps > 5 {
 		reps = 5 // 2 regimes × 5 patterns × 3 machines × 2 placements

@@ -112,6 +112,24 @@ func (n *Network) NewResource(name string, capacity float64) *Resource {
 // ActiveFlows returns the number of currently active flows.
 func (n *Network) ActiveFlows() int { return len(n.active) }
 
+// SetCapacity changes r's capacity to the given value (> 0) and recomputes
+// the rates of every active flow. In-flight transfers are settled at their
+// old rates up to the current instant first, so the change models a
+// transient bandwidth event (degradation window, brown-out) exactly from
+// "now" onward.
+func (n *Network) SetCapacity(r *Resource, capacity float64) {
+	if capacity <= 0 || math.IsNaN(capacity) || math.IsInf(capacity, 0) {
+		panic(fmt.Sprintf("flow: resource %q capacity must be positive and finite, got %g", r.name, capacity))
+	}
+	if capacity == r.capacity { //bbvet:allow float-compare -- no-op guard: restoring the exact saved capacity value skips a needless recompute
+		return
+	}
+	n.settle()
+	r.capacity = capacity
+	n.recompute()
+	n.schedule()
+}
+
 // StartFlow begins transferring amount units across path. onDone runs when
 // the transfer completes. The returned flow can be cancelled. A flow with an
 // empty path and no rate cap completes after just its latency.

@@ -150,6 +150,7 @@ type Node struct {
 
 	coresInUse int
 	memInUse   units.Bytes
+	down       bool
 }
 
 // Name returns the node's identifier.
@@ -202,8 +203,20 @@ func (n *Node) FreeMemory() units.Bytes {
 	return n.ram - n.memInUse
 }
 
-// HasResources reports whether k cores and mem bytes are both free.
+// Down reports whether the node is currently failed (fault injection).
+func (n *Node) Down() bool { return n.down }
+
+// SetDown marks the node failed or repaired. A failed node schedules no new
+// work (HasResources reports false) but keeps its resource accounting, so
+// tasks aborted on it release their allocations normally.
+func (n *Node) SetDown(down bool) { n.down = down }
+
+// HasResources reports whether k cores and mem bytes are both free. A
+// failed node has no resources to offer.
 func (n *Node) HasResources(k int, mem units.Bytes) bool {
+	if n.down {
+		return false
+	}
 	return n.cores-n.coresInUse >= k && (mem <= 0 || n.FreeMemory() >= mem)
 }
 

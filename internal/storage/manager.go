@@ -119,6 +119,7 @@ func (o *Op) Cancel() {
 	o.fl.Cancel()
 	o.mgr.inFlight[o.Service]--
 	if o.reserved > 0 {
+		o.mgr.pending[o.Service] -= o.reserved
 		o.Service.Release(o.reserved)
 	}
 }
@@ -130,7 +131,10 @@ type Manager struct {
 	reg      *Registry
 	model    OpModel
 	inFlight map[Service]int
-	stats    map[Service]*ServiceStats
+	// pending tracks capacity reserved by writes/copies still in flight:
+	// space that Used() already counts but the registry does not yet see.
+	pending map[Service]units.Bytes
+	stats   map[Service]*ServiceStats
 }
 
 // NewManager builds a manager over the platform's flow network. A nil model
@@ -145,6 +149,7 @@ func NewManager(eng *sim.Engine, net *flow.Network, reg *Registry, model OpModel
 		reg:      reg,
 		model:    model,
 		inFlight: map[Service]int{},
+		pending:  map[Service]units.Bytes{},
 		stats:    map[Service]*ServiceStats{},
 	}
 }
@@ -162,6 +167,10 @@ func (m *Manager) Registry() *Registry { return m.reg }
 
 // InFlight returns the number of operations currently running on svc.
 func (m *Manager) InFlight(svc Service) int { return m.inFlight[svc] }
+
+// PendingReserved returns the bytes reserved on svc by writes and copies
+// still in flight (reservations not yet backed by a registered replica).
+func (m *Manager) PendingReserved(svc Service) units.Bytes { return m.pending[svc] }
 
 // Stats returns the accumulated statistics for svc.
 func (m *Manager) Stats(svc Service) ServiceStats {
@@ -235,6 +244,7 @@ func (m *Manager) Write(node *platform.Node, f *workflow.File, svc Service, onDo
 	)
 	op := &Op{Kind: OpWrite, File: f, Service: svc, Node: node, Started: m.eng.Now(), mgr: m, reserved: f.Size()}
 	m.inFlight[svc]++
+	m.pending[svc] += f.Size()
 	op.fl = m.net.StartFlow(
 		float64(f.Size())*params.SizeFactor,
 		svc.WritePath(node),
@@ -242,6 +252,14 @@ func (m *Manager) Write(node *platform.Node, f *workflow.File, svc Service, onDo
 		func() {
 			op.finished = true
 			m.inFlight[svc]--
+			m.pending[svc] -= f.Size()
+			if m.reg.Has(f, svc) {
+				// A concurrent operation already registered this replica
+				// (e.g. two consumers relocating the same private-BB file to
+				// the PFS); the duplicate's reservation must be returned or
+				// the space leaks.
+				svc.Release(f.Size())
+			}
 			m.reg.AddFrom(f, svc, node)
 			st := m.statsFor(svc)
 			st.BytesWritten += f.Size()
@@ -282,6 +300,7 @@ func (m *Manager) Copy(node *platform.Node, f *workflow.File, src, dst Service, 
 	path := append(append([]*flow.Resource{}, src.ReadPath(node)...), dst.WritePath(node)...)
 	op := &Op{Kind: OpCopy, File: f, Service: dst, Source: src, Node: node, Started: m.eng.Now(), mgr: m, reserved: f.Size()}
 	m.inFlight[dst]++
+	m.pending[dst] += f.Size()
 	op.fl = m.net.StartFlow(
 		float64(f.Size())*params.SizeFactor,
 		path,
@@ -289,6 +308,11 @@ func (m *Manager) Copy(node *platform.Node, f *workflow.File, src, dst Service, 
 		func() {
 			op.finished = true
 			m.inFlight[dst]--
+			m.pending[dst] -= f.Size()
+			if m.reg.Has(f, dst) {
+				// See Write: a racing duplicate's reservation is returned.
+				dst.Release(f.Size())
+			}
 			m.reg.AddFrom(f, dst, node)
 			dur := m.eng.Now() - op.Started
 			sst := m.statsFor(src)

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"bbwfsim/internal/platform"
+	"bbwfsim/internal/units"
 	"bbwfsim/internal/workflow"
 )
 
@@ -16,6 +17,10 @@ import (
 // them", paper Section III-D) is enforced against.
 type Registry struct {
 	locations map[*workflow.File]map[Service]*replica
+	// resident tallies the bytes of all replicas per service, maintained
+	// incrementally so the capacity-invariant audit (System.AuditCapacity)
+	// is cheap. Updated in event order, hence deterministic.
+	resident map[Service]units.Bytes
 }
 
 // replica is one copy of a file on one service.
@@ -27,7 +32,10 @@ type replica struct {
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{locations: map[*workflow.File]map[Service]*replica{}}
+	return &Registry{
+		locations: map[*workflow.File]map[Service]*replica{},
+		resident:  map[Service]units.Bytes{},
+	}
 }
 
 // Add records that svc holds a replica of f with no particular creator
@@ -43,13 +51,36 @@ func (r *Registry) AddFrom(f *workflow.File, svc Service, node *platform.Node) {
 		m = map[Service]*replica{}
 		r.locations[f] = m
 	}
+	if m[svc] == nil {
+		r.resident[svc] += f.Size()
+	}
 	m[svc] = &replica{creator: node}
 }
 
 // Remove forgets the replica of f on svc. Removing an absent replica is a
 // no-op.
 func (r *Registry) Remove(f *workflow.File, svc Service) {
+	if r.locations[f][svc] != nil {
+		r.resident[svc] -= f.Size()
+	}
 	delete(r.locations[f], svc)
+}
+
+// BytesOn returns the total size of the replicas svc currently holds.
+func (r *Registry) BytesOn(svc Service) units.Bytes { return r.resident[svc] }
+
+// FilesOn returns the files with a replica on svc, sorted by ID for
+// deterministic teardown order (node-failure replica eviction).
+func (r *Registry) FilesOn(svc Service) []*workflow.File {
+	var files []*workflow.File
+	//bbvet:ordered -- collected files are sorted by ID immediately below
+	for f, m := range r.locations {
+		if m[svc] != nil {
+			files = append(files, f)
+		}
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].ID() < files[j].ID() })
+	return files
 }
 
 // Has reports whether svc holds a replica of f.

@@ -93,6 +93,35 @@ func (s *System) PlaceInitial(f *workflow.File, svc Service) error {
 	return nil
 }
 
+// AuditCapacity checks the capacity-accounting invariant on every service:
+// the space a service reports as used must equal the bytes of the replicas
+// the registry sees there plus the reservations of writes still in flight —
+// no negative usage, no leaked space after evictions or cancelled
+// operations. The execution engine asserts it at the end of every run; a
+// violation always indicates an accounting bug (e.g. a failure-triggered
+// replica teardown that dropped a registry entry without releasing space).
+func (s *System) AuditCapacity() error {
+	for _, svc := range s.Services() {
+		used := svc.Used()
+		if used < 0 {
+			return fmt.Errorf("storage: %s: negative used capacity %v", svc.Name(), used)
+		}
+		expect := s.reg.BytesOn(svc) + s.mgr.PendingReserved(svc)
+		diff := float64(used - expect)
+		if diff < 0 {
+			diff = -diff
+		}
+		// Tolerance: the tallies accumulate the same sizes in different
+		// interleavings, so only float rounding may separate them.
+		tol := 1e-6 * (1 + float64(expect))
+		if diff > tol {
+			return fmt.Errorf("storage: %s: capacity accounting drift: %v used, but %v resident + %v pending",
+				svc.Name(), used, s.reg.BytesOn(svc), s.mgr.PendingReserved(svc))
+		}
+	}
+	return nil
+}
+
 // BBStats sums the manager statistics across all burst-buffer services.
 func (s *System) BBStats() ServiceStats {
 	var total ServiceStats

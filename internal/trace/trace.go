@@ -31,6 +31,32 @@ const (
 	TaskEnd      EventKind = "task-end"
 )
 
+// Fault-injection and recovery event kinds (internal/faults, exec recovery
+// policies). Traces of fault-free runs never contain them.
+const (
+	// TaskFail records a task attempt aborted by a fault (task crash, node
+	// failure, or a lost input); the detail names the cause.
+	TaskFail EventKind = "task-fail"
+	// TaskRetry records a failed task re-entering the ready queue after its
+	// recovery backoff, or a finished task re-executing because a node
+	// failure destroyed the only replica of one of its outputs.
+	TaskRetry EventKind = "task-retry"
+	// NodeFail and NodeRepair bracket a whole-node outage; the detail is
+	// the node name.
+	NodeFail   EventKind = "node-fail"
+	NodeRepair EventKind = "node-repair"
+	// BBReject records a burst-buffer allocation rejection injected by the
+	// fault model.
+	BBReject EventKind = "bb-reject"
+	// Fallback records a write gracefully redirected to the PFS after its
+	// burst-buffer target was rejected, full, or degraded away.
+	Fallback EventKind = "fallback"
+	// DegradeStart and DegradeEnd bracket a transient bandwidth-degradation
+	// window on a storage service (BB degradation or PFS brown-out).
+	DegradeStart EventKind = "degrade-start"
+	DegradeEnd   EventKind = "degrade-end"
+)
+
 // Event is one time-stamped occurrence.
 type Event struct {
 	Time   float64   `json:"time"`
@@ -54,6 +80,11 @@ type TaskRecord struct {
 
 	BytesRead    units.Bytes `json:"bytesRead"`
 	BytesWritten units.Bytes `json:"bytesWritten"`
+
+	// Retries counts additional attempts after fault-injected failures; the
+	// phase timestamps above describe the final (successful) attempt. Zero,
+	// and absent from the JSON form, on fault-free runs.
+	Retries int `json:"retries,omitempty"`
 }
 
 // ExecTime returns the task's wall time from start to finish.
@@ -123,6 +154,18 @@ func (t *Trace) Records() []*TaskRecord { return t.records }
 
 // Makespan returns the time of the last recorded event.
 func (t *Trace) Makespan() float64 { return t.makespan }
+
+// CountKind returns the number of recorded events of the given kind, the
+// basis of the fault/recovery counters in core.Result.
+func (t *Trace) CountKind(kind EventKind) int {
+	n := 0
+	for _, ev := range t.events {
+		if ev.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
 
 // Summary aggregates task records by task name.
 type Summary struct {

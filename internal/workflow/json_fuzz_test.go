@@ -1,0 +1,136 @@
+package workflow
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// FuzzParse is the native fuzz target for the JSON loader: whatever the
+// input, Parse must return a validated workflow or an error — never panic.
+// The seed corpus covers the interesting malformed shapes (cycles,
+// duplicate IDs, dangling references, bad sizes, truncated JSON); `go test`
+// replays it deterministically without the fuzz engine.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		``,
+		`{`,
+		`null`,
+		`[]`,
+		`{"name":"ok","files":[{"id":"a","size":"1MiB"}],"tasks":[{"id":"t","work":1,"outputs":["a"]}]}`,
+		// Duplicate file IDs.
+		`{"name":"dup","files":[{"id":"a","size":"1"},{"id":"a","size":"2"}],"tasks":[]}`,
+		// Duplicate task IDs.
+		`{"name":"dup","files":[],"tasks":[{"id":"t"},{"id":"t"}]}`,
+		// Two-task dependency cycle through files.
+		`{"name":"cyc","files":[{"id":"a","size":"1"},{"id":"b","size":"1"}],` +
+			`"tasks":[{"id":"t1","inputs":["a"],"outputs":["b"]},{"id":"t2","inputs":["b"],"outputs":["a"]}]}`,
+		// Self-cycle: a task consuming its own output.
+		`{"name":"self","files":[{"id":"a","size":"1"}],"tasks":[{"id":"t","inputs":["a"],"outputs":["a"]}]}`,
+		// Dangling file reference.
+		`{"name":"dangle","files":[],"tasks":[{"id":"t","inputs":["ghost"]}]}`,
+		// Unparsable and negative sizes.
+		`{"name":"size","files":[{"id":"a","size":"alot"}],"tasks":[]}`,
+		`{"name":"size","files":[{"id":"a","size":"-5MiB"}],"tasks":[]}`,
+		// Negative work / cores.
+		`{"name":"neg","files":[],"tasks":[{"id":"t","work":-1}]}`,
+		`{"name":"neg","files":[],"tasks":[{"id":"t","cores":-2}]}`,
+		// Unknown task kind.
+		`{"name":"kind","files":[],"tasks":[{"id":"t","kind":"teleport"}]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		w, err := Parse(data)
+		if err != nil {
+			return
+		}
+		// Whatever parsed must survive a marshal/parse round trip.
+		out, err := Marshal(w)
+		if err != nil {
+			t.Fatalf("Parse accepted a workflow Marshal rejects: %v", err)
+		}
+		if _, err := Parse(out); err != nil {
+			t.Fatalf("round trip failed: %v\n%s", err, out)
+		}
+	})
+}
+
+// TestParseSeededRandomDocs throws seeded randomly structured documents at
+// Parse: random DAG-ish topologies with injected defects (cycles, duplicate
+// IDs, dangling references, garbage sizes). Parse must classify each one —
+// error or valid workflow — without panicking, and accepted workflows must
+// validate.
+func TestParseSeededRandomDocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260805))
+	for iter := 0; iter < 500; iter++ {
+		doc := randomDoc(rng)
+		raw, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Occasionally truncate or splice the raw bytes.
+		switch rng.Intn(8) {
+		case 0:
+			raw = raw[:rng.Intn(len(raw)+1)]
+		case 1:
+			raw[rng.Intn(len(raw))] = byte(rng.Intn(256))
+		}
+		w, err := Parse(raw) // must not panic
+		if err != nil {
+			continue
+		}
+		if err := w.Validate(); err != nil {
+			t.Fatalf("iter %d: Parse returned an invalid workflow: %v\n%s", iter, err, raw)
+		}
+	}
+}
+
+// randomDoc builds a workflow document with seeded random structure and a
+// seeded chance of each defect class.
+func randomDoc(rng *rand.Rand) map[string]any {
+	nFiles := rng.Intn(6)
+	nTasks := rng.Intn(6)
+	files := make([]map[string]any, 0, nFiles)
+	for i := 0; i < nFiles; i++ {
+		id := fmt.Sprintf("f%d", i)
+		if rng.Intn(10) == 0 && i > 0 {
+			id = "f0" // duplicate file ID
+		}
+		size := fmt.Sprintf("%dMiB", rng.Intn(100))
+		switch rng.Intn(10) {
+		case 0:
+			size = "garbage"
+		case 1:
+			size = fmt.Sprintf("%d", -rng.Intn(1000))
+		}
+		files = append(files, map[string]any{"id": id, "size": size})
+	}
+	tasks := make([]map[string]any, 0, nTasks)
+	for i := 0; i < nTasks; i++ {
+		id := fmt.Sprintf("t%d", i)
+		if rng.Intn(10) == 0 && i > 0 {
+			id = "t0" // duplicate task ID
+		}
+		task := map[string]any{"id": id, "work": rng.Float64() * 1e9}
+		var ins, outs []string
+		for j := 0; j < rng.Intn(3); j++ {
+			ins = append(ins, fmt.Sprintf("f%d", rng.Intn(nFiles+2))) // may dangle
+		}
+		for j := 0; j < rng.Intn(3); j++ {
+			outs = append(outs, fmt.Sprintf("f%d", rng.Intn(nFiles+2)))
+		}
+		// Random producer/consumer edges over a small file pool freely
+		// produce cycles and multi-producer conflicts; that is the point.
+		if len(ins) > 0 {
+			task["inputs"] = ins
+		}
+		if len(outs) > 0 {
+			task["outputs"] = outs
+		}
+		tasks = append(tasks, task)
+	}
+	return map[string]any{"name": "fuzz", "files": files, "tasks": tasks}
+}
