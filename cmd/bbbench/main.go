@@ -1,0 +1,351 @@
+// Command bbbench maintains the repository's performance ledger. It runs a
+// fixed suite of micro-benchmarks (the flow solver's hot paths), macro
+// benchmarks (a full 1000Genomes simulation, a Quick campaign at -j 1 and
+// at -j GOMAXPROCS), and an accuracy guardrail (the Fig. 10 average errors),
+// then writes one BENCH_<n>.json snapshot. Committing a snapshot per
+// performance PR makes the perf trajectory part of the repo's history, and
+// the compare mode turns the latest snapshot into a CI regression gate.
+//
+// Usage:
+//
+//	bbbench                       # run the suite, write BENCH_<next>.json
+//	bbbench -o my.json            # explicit output path ("-" for stdout)
+//	bbbench -against BENCH_1.json # run, then fail on >20% ns/op regression
+//	bbbench -against BENCH_1.json -tol 0.5
+//
+// Wall-clock numbers are machine-dependent by nature, so snapshots record
+// GOMAXPROCS and the Go version alongside every result; the regression gate
+// compares like with like only in CI, where hardware is stable. The
+// simulated results themselves are deterministic — the accuracy entries and
+// the zero-allocation probe must reproduce exactly on any machine.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"testing"
+
+	"bbwfsim/internal/core"
+	"bbwfsim/internal/experiments"
+	"bbwfsim/internal/flow"
+	"bbwfsim/internal/genomes"
+	"bbwfsim/internal/platform"
+	"bbwfsim/internal/sim"
+)
+
+// Snapshot is the BENCH_<n>.json schema.
+type Snapshot struct {
+	Schema     int    `json:"schema"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Jobs       int    `json:"jobs"` // worker count used by the parallel campaign entries
+
+	// Benchmarks are wall-clock suite entries; ns_per_op is what the
+	// compare mode gates on.
+	Benchmarks []Bench `json:"benchmarks"`
+
+	// CampaignSpeedup is serial ns/op over parallel ns/op for the Quick
+	// 1000Genomes campaign — the tentpole's headline number. On a
+	// single-core machine it sits near 1 by construction.
+	CampaignSpeedup float64 `json:"campaign_speedup"`
+
+	// Accuracy entries guard against perf work silently shifting simulated
+	// results: the Fig. 10 average errors are bit-deterministic, so any
+	// drift here is a correctness bug, not noise.
+	Accuracy []Accuracy `json:"accuracy"`
+
+	// FlowRecomputeAllocsPerOp is the steady-state allocation count of the
+	// flow solver's rate recompute; the contract is exactly 0.
+	FlowRecomputeAllocsPerOp float64 `json:"flow_recompute_allocs_per_op"`
+}
+
+// Bench is one suite entry.
+type Bench struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// Accuracy is one experiment-table accuracy entry.
+type Accuracy struct {
+	Table     string  `json:"table"`
+	AvgErrPct float64 `json:"avg_err_pct"`
+}
+
+func main() {
+	var (
+		out     = flag.String("o", "", "output path (default: next free BENCH_<n>.json; \"-\" for stdout)")
+		against = flag.String("against", "", "baseline BENCH_<n>.json to compare with; exit 1 on regression")
+		tol     = flag.Float64("tol", 0.20, "allowed fractional ns/op growth vs the baseline")
+	)
+	flag.Parse()
+
+	snap, err := runSuite()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bbbench: %v\n", err)
+		os.Exit(1)
+	}
+
+	if err := writeSnapshot(snap, *out); err != nil {
+		fmt.Fprintf(os.Stderr, "bbbench: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *against != "" {
+		failures, err := compare(snap, *against, *tol)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bbbench: %v\n", err)
+			os.Exit(1)
+		}
+		if len(failures) > 0 {
+			for _, f := range failures {
+				fmt.Fprintf(os.Stderr, "bbbench: REGRESSION: %s\n", f)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bbbench: no regressions vs %s (tolerance %.0f%%)\n", *against, 100**tol)
+	}
+}
+
+// runSuite executes every ledger entry. Each testing.Benchmark call
+// self-calibrates its iteration count (~1 s per entry).
+func runSuite() (*Snapshot, error) {
+	snap := &Snapshot{
+		Schema:     1,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Jobs:       runtime.GOMAXPROCS(0),
+	}
+
+	// --- flow-solver micro-benchmarks (mirror internal/flow/bench_test.go).
+	record := func(name string, fn func(b *testing.B)) testing.BenchmarkResult {
+		r := testing.Benchmark(fn)
+		snap.Benchmarks = append(snap.Benchmarks, Bench{
+			Name:        name,
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		})
+		fmt.Fprintf(os.Stderr, "bbbench: %-32s %12.0f ns/op %8d allocs/op\n",
+			name, float64(r.NsPerOp()), r.AllocsPerOp())
+		return r
+	}
+
+	record("flow/concurrent-256", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e := sim.NewEngine()
+			n := flow.NewNetwork(e)
+			link := n.NewResource("link", 1000)
+			disk := n.NewResource("disk", 800)
+			done := 0
+			for j := 0; j < 256; j++ {
+				n.StartFlow(float64(100+j), []*flow.Resource{link, disk}, flow.Options{}, func() { done++ })
+			}
+			e.Run()
+			if done != 256 {
+				b.Fatalf("completed %d of 256 flows", done)
+			}
+		}
+	})
+	record("flow/sparse-platform-32n", func(b *testing.B) {
+		const nodes = 32
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e := sim.NewEngine()
+			n := flow.NewNetwork(e)
+			links := make([]*flow.Resource, nodes)
+			disks := make([]*flow.Resource, nodes)
+			for j := 0; j < nodes; j++ {
+				links[j] = n.NewResource("link", 1000)
+				disks[j] = n.NewResource("disk", 800)
+			}
+			done := 0
+			for j := 0; j < 4*nodes; j++ {
+				src := j % nodes
+				n.StartFlow(float64(100+j), []*flow.Resource{links[src], disks[(src+1)%nodes]}, flow.Options{}, func() { done++ })
+			}
+			e.Run()
+			if done != 4*nodes {
+				b.Fatalf("completed %d of %d flows", done, 4*nodes)
+			}
+		}
+	})
+
+	// --- 1000Genomes single run: the case-study configuration, full size.
+	wf := genomes.MustNew(genomes.Params{Chromosomes: genomes.DefaultChromosomes})
+	cfg, ok := platform.Presets(8)["cori-private"]
+	if !ok {
+		return nil, fmt.Errorf("platform preset cori-private missing")
+	}
+	record("genomes/single-run", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.MustNewSimulator(cfg).Run(wf, core.RunOptions{
+				PrePlaceInputs: true, StagedFraction: 0.5,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// --- campaign wall-clock: the fig13 Quick sweep at -j 1 vs -j max.
+	fig13, ok := experiments.Find("fig13")
+	if !ok {
+		return nil, fmt.Errorf("experiment fig13 missing")
+	}
+	campaign := func(jobs int) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := fig13.Run(experiments.Options{Quick: true, Seed: 1, Jobs: jobs}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	serial := record("campaign/fig13-quick-j1", campaign(1))
+	// "jmax" rather than the numeric count: the name must be stable across
+	// machines for the compare mode; the actual count is the "jobs" field.
+	parallel := record("campaign/fig13-quick-jmax", campaign(snap.Jobs))
+	if parallel.NsPerOp() > 0 {
+		snap.CampaignSpeedup = float64(serial.NsPerOp()) / float64(parallel.NsPerOp())
+	}
+
+	// --- accuracy guardrail: Fig. 10 average errors (deterministic).
+	fig10, ok := experiments.Find("fig10")
+	if !ok {
+		return nil, fmt.Errorf("experiment fig10 missing")
+	}
+	tables, err := fig10.Run(experiments.Options{Quick: true, Seed: 1})
+	if err != nil {
+		return nil, fmt.Errorf("fig10 accuracy run: %w", err)
+	}
+	for _, t := range tables {
+		pct, ok := avgErr(t.Notes)
+		if !ok {
+			return nil, fmt.Errorf("table %s: no \"average error\" note to record", t.ID)
+		}
+		snap.Accuracy = append(snap.Accuracy, Accuracy{Table: t.ID, AvgErrPct: pct})
+		fmt.Fprintf(os.Stderr, "bbbench: %-32s %11.1f%% avg err\n", t.ID, pct)
+	}
+
+	// --- allocation probe: the tentpole's zero-steady-state contract.
+	snap.FlowRecomputeAllocsPerOp = flow.RecomputeAllocsPerRun()
+	fmt.Fprintf(os.Stderr, "bbbench: flow recompute steady state    %8.1f allocs/op\n",
+		snap.FlowRecomputeAllocsPerOp)
+	return snap, nil
+}
+
+var avgErrRE = regexp.MustCompile(`average error: ([0-9.]+)%`)
+
+// avgErr pulls the headline percentage out of a table's notes.
+func avgErr(notes []string) (float64, bool) {
+	for _, note := range notes {
+		if m := avgErrRE.FindStringSubmatch(note); m != nil {
+			v, err := strconv.ParseFloat(m[1], 64)
+			if err == nil {
+				return v, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// writeSnapshot marshals snap to path, or to the next free BENCH_<n>.json
+// when path is empty.
+func writeSnapshot(snap *Snapshot, path string) error {
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	if path == "" {
+		path = nextLedgerPath(".")
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bbbench: wrote %s\n", path)
+	return nil
+}
+
+var ledgerRE = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// nextLedgerPath picks BENCH_<n>.json with the smallest n not yet present.
+func nextLedgerPath(dir string) string {
+	next := 1
+	if entries, err := os.ReadDir(dir); err == nil {
+		for _, e := range entries {
+			if m := ledgerRE.FindStringSubmatch(e.Name()); m != nil {
+				if n, err := strconv.Atoi(m[1]); err == nil && n >= next {
+					next = n + 1
+				}
+			}
+		}
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", next))
+}
+
+// compare gates the fresh snapshot against a committed baseline: any suite
+// entry whose ns/op grew by more than tol fails, as does a nonzero
+// allocation probe and any accuracy drift (accuracy is deterministic, so
+// the tolerance there is zero).
+func compare(snap *Snapshot, baselinePath string, tol float64) ([]string, error) {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return nil, err
+	}
+	var base Snapshot
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", baselinePath, err)
+	}
+	baseBench := make(map[string]Bench, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseBench[b.Name] = b
+	}
+	var failures []string
+	for _, b := range snap.Benchmarks {
+		old, ok := baseBench[b.Name]
+		if !ok || old.NsPerOp <= 0 {
+			continue // new entry, or unusable baseline: nothing to gate on
+		}
+		if growth := b.NsPerOp/old.NsPerOp - 1; growth > tol {
+			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (+%.0f%%, tolerance %.0f%%)",
+				b.Name, b.NsPerOp, old.NsPerOp, 100*growth, 100*tol))
+		}
+	}
+	if snap.FlowRecomputeAllocsPerOp > 0 {
+		failures = append(failures, fmt.Sprintf(
+			"flow recompute allocates %.1f times per op in steady state; the contract is 0",
+			snap.FlowRecomputeAllocsPerOp))
+	}
+	baseAcc := make(map[string]float64, len(base.Accuracy))
+	for _, a := range base.Accuracy {
+		baseAcc[a.Table] = a.AvgErrPct
+	}
+	for _, a := range snap.Accuracy {
+		old, ok := baseAcc[a.Table]
+		if !ok {
+			continue
+		}
+		if diff := a.AvgErrPct - old; diff > 1e-9 || diff < -1e-9 {
+			failures = append(failures, fmt.Sprintf(
+				"%s: avg err %.4f%% vs baseline %.4f%% — simulated results are deterministic, this is a correctness change",
+				a.Table, a.AvgErrPct, old))
+		}
+	}
+	return failures, nil
+}

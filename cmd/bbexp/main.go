@@ -8,12 +8,14 @@
 //	bbexp -list                # list experiment IDs
 //	bbexp -exp fig10 -reps 30  # more testbed repetitions
 //	bbexp -exp all -quick      # reduced sweeps (smoke test)
+//	bbexp -exp all -j 8        # fan runs across 8 workers (same output)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"bbwfsim/internal/experiments"
@@ -29,6 +31,7 @@ func main() {
 		out    = flag.String("o", "", "write output to file instead of stdout")
 		format = flag.String("format", "text", "output format: text or csv")
 		wall   = flag.Bool("walltime", false, "add wall-clock columns to the scalability experiment (output no longer bit-reproducible)")
+		jobs   = flag.Int("j", runtime.NumCPU(), "worker goroutines for independent simulation runs; output is bit-identical at any value (-j 1 = serial)")
 	)
 	flag.Parse()
 
@@ -70,7 +73,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bbexp: unknown format %q (want text or csv)\n", *format)
 		os.Exit(2)
 	}
-	opts := experiments.Options{Reps: *reps, Seed: *seed, Quick: *quick}
+	opts := experiments.Options{Reps: *reps, Seed: *seed, Quick: *quick, Jobs: *jobs}
 	if *wall {
 		// Experiments cannot read the wall clock themselves (bbvet's
 		// no-walltime rule): the CLI injects it, keeping the default

@@ -107,6 +107,7 @@ func Rules() []Rule {
 		seededRandRule(),
 		orderedMapRule(),
 		kernelPurityRule(),
+		runnerIsolationRule(),
 		floatCompareRule(),
 		uncheckedErrorRule(),
 	}
@@ -143,8 +144,11 @@ var simPackages = map[string]bool{
 }
 
 // kernelPackages is the single-threaded discrete-event core whose
-// determinism depends on the absence of any concurrency.
-var kernelPackages = map[string]bool{"sim": true, "flow": true}
+// determinism depends on the absence of any concurrency: the event loop,
+// the fluid model, and the task executor that drives them. Concurrency in
+// this repository lives one layer up, in the campaign runner (see
+// runnerIsolationRule) — never inside a run.
+var kernelPackages = map[string]bool{"sim": true, "flow": true, "exec": true}
 
 // deterministicOutputPackages additionally covers packages whose output is
 // asserted bit-identical across runs (experiment tables, traces).

@@ -91,7 +91,7 @@ func TestSplitDirective(t *testing.T) {
 func TestRuleNamesStable(t *testing.T) {
 	want := []string{
 		"no-walltime", "seeded-rand-only", "ordered-map-iteration",
-		"no-goroutines-in-kernel", "float-compare", "unchecked-error",
+		"no-goroutines-in-kernel", "runner-isolation", "float-compare", "unchecked-error",
 	}
 	got := RuleNames()
 	if len(got) != len(want) {

@@ -11,7 +11,8 @@ func kernelPurityRule() Rule {
 	return Rule{
 		Name: "no-goroutines-in-kernel",
 		Doc: "forbid goroutines, channels, select, and sync primitives in the discrete-event " +
-			"kernel and fluid model (sim, flow); their determinism depends on single-threaded execution",
+			"kernel, fluid model, and task executor (sim, flow, exec); their determinism depends " +
+			"on single-threaded execution — concurrency belongs in internal/runner, above them",
 		AppliesTo: isKernelPackage,
 		Run: func(p *Pass) {
 			p.Inspect(func(n ast.Node) bool {

@@ -1,0 +1,40 @@
+package analysis
+
+import (
+	"go/ast"
+	"path"
+	"strings"
+)
+
+// runnerIsolationRule keeps the campaign runner generic: internal/runner is
+// the one place in the module allowed to spawn goroutines, and the price of
+// that license is that it must never see simulation state. A run point owns
+// its engine, RNG streams, and storage system privately; the runner only
+// moves opaque result values by index. If the runner imported a simulation
+// package, a *sim.Engine (or anything holding one) could cross a worker
+// boundary and be mutated from two goroutines — exactly the sharing the
+// kernel-purity rule exists to make impossible.
+func runnerIsolationRule() Rule {
+	return Rule{
+		Name: "runner-isolation",
+		Doc: "forbid the campaign runner (runner) from importing simulation packages; run points " +
+			"build and own their engines privately, so no simulation state crosses a worker boundary",
+		AppliesTo: func(pkgPath string) bool { return path.Base(pkgPath) == "runner" },
+		Run: func(p *Pass) {
+			p.Inspect(func(n ast.Node) bool {
+				imp, ok := n.(*ast.ImportSpec)
+				if !ok {
+					return true
+				}
+				ipath := strings.Trim(imp.Path.Value, `"`)
+				if strings.Contains(ipath, "/") && isSimPackage(ipath) {
+					p.Reportf(imp.Pos(), "runner-isolation",
+						"import of %q in the campaign runner: workers must only handle opaque "+
+							"result values — an engine shared across goroutines breaks the kernel's "+
+							"single-threaded determinism contract", ipath)
+				}
+				return true
+			})
+		},
+	}
+}

@@ -1,0 +1,24 @@
+// Fixture: the task executor is in the kernel-purity scope — it drives the
+// event loop synchronously, so the same single-threaded constraints apply
+// as in sim and flow. Campaign-level concurrency belongs in internal/runner.
+package exec
+
+import "sync" // want `no-goroutines-in-kernel`
+
+type scheduler struct {
+	mu sync.Mutex
+}
+
+func bad(results chan int) { // want `no-goroutines-in-kernel`
+	go func() { results <- 1 }() // want `no-goroutines-in-kernel` `no-goroutines-in-kernel`
+}
+
+// plain synchronous dispatch is untouched.
+func fine(ready []func()) int {
+	started := 0
+	for _, fn := range ready {
+		fn()
+		started++
+	}
+	return started
+}

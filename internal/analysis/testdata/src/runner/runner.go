@@ -1,0 +1,23 @@
+// Fixture for the runner-isolation rule: the campaign runner is the one
+// package licensed to spawn goroutines, so it must stay generic — importing
+// a simulation package would let an engine cross a worker boundary.
+package runner
+
+import (
+	_ "sort"
+
+	_ "bbwfsim/internal/flow" // want `runner-isolation`
+	_ "bbwfsim/internal/sim"  // want `runner-isolation`
+)
+
+// goroutines and sync are the runner's whole point; the kernel-purity rule
+// must not fire here.
+func fine(fns []func()) {
+	done := make(chan struct{})
+	for _, fn := range fns {
+		go func() { fn(); done <- struct{}{} }()
+	}
+	for range fns {
+		<-done
+	}
+}

@@ -49,18 +49,24 @@ func RunAblationPlacement(opts Options) ([]*Table, error) {
 		placement.NewFanoutGreedy(wf, budget),
 		critical,
 	}
-	sim := core.MustNewSimulator(cfg)
 	t := &Table{
 		ID:     "ablation-placement",
 		Title:  fmt.Sprintf("Placement heuristics, 1000Genomes (%d chrom), BB capacity = 30%% of footprint", chrom),
 		Header: []string{"policy", "files on BB", "BB bytes", "makespan [s]", "speedup vs all-PFS"},
 	}
-	var baseline float64
-	for _, pol := range policies {
-		res, err := sim.Run(wf, core.RunOptions{Placement: pol, PrePlaceInputs: true})
+	results, err := runPoints(o, policies, func(pol *placement.Set) (*core.Result, error) {
+		res, err := core.MustNewSimulator(cfg).Run(wf, core.RunOptions{Placement: pol, PrePlaceInputs: true})
 		if err != nil {
 			return nil, fmt.Errorf("policy %s: %w", pol.Name(), err)
 		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var baseline float64
+	for i, pol := range policies {
+		res := results[i]
 		if pol.Name() == "all-pfs" {
 			baseline = res.Makespan
 		}
@@ -92,9 +98,9 @@ func RunAblationModel(opts Options) ([]*Table, error) {
 		return nil, err
 	}
 	prof := testbed.CoriPrivate(1)
-	runner := testbed.NewRunner(prof, o.Seed)
+	tb := testbed.NewRunner(prof, o.Seed)
 	anchorCores := 32
-	anchor, err := runner.Run(testbedSwarp(1, anchorCores),
+	anchor, err := tb.Run(testbedSwarp(1, anchorCores),
 		testbed.Scenario{StagedFraction: 1, IntermediatesToBB: true, CoresPerTask: anchorCores}, o.Reps)
 	if err != nil {
 		return nil, err
@@ -132,13 +138,13 @@ func RunAblationModel(opts Options) ([]*Table, error) {
 		return nil, err
 	}
 
-	sim := core.MustNewSimulator(simPreset("cori-private", 1))
 	runSim := func(cores int, rw, cw units.Flops, alphaRes, alphaCom float64) (float64, error) {
 		wf := swarp.MustNew(swarp.Params{
 			Pipelines: 1, CoresPerTask: cores,
 			ResampleWork: rw, CombineWork: cw,
 			ResampleAlpha: alphaRes, CombineAlpha: alphaCom,
 		})
+		sim := core.MustNewSimulator(simPreset("cori-private", 1))
 		res, err := sim.Run(wf, core.RunOptions{StagedFraction: 1, IntermediatesToBB: true, CoresPerTask: cores})
 		if err != nil {
 			return 0, err
@@ -151,29 +157,37 @@ func RunAblationModel(opts Options) ([]*Table, error) {
 		Title:  "Calibration ablation on cori-private: Eq. 4 (α=0) vs. Eq. 3 (true α), anchored at 32 cores",
 		Header: []string{"cores", "real [s]", "Eq.4 sim [s]", "Eq.4 err", "Eq.3 sim [s]", "Eq.3 err"},
 	}
-	var real4, sim4, sim3 []float64
-	for _, cores := range coreCounts(o) {
-		res, err := runner.Run(testbedSwarp(1, cores),
+	type modelPoint struct{ real, m4, m3 float64 }
+	counts := coreCounts(o)
+	points, err := runPoints(o, counts, func(cores int) (modelPoint, error) {
+		res, err := testbed.NewRunner(prof, o.Seed).Run(testbedSwarp(1, cores),
 			testbed.Scenario{StagedFraction: 1, IntermediatesToBB: true, CoresPerTask: cores}, o.Reps)
 		if err != nil {
-			return nil, err
+			return modelPoint{}, err
 		}
-		realMs := res.MeanMakespan()
 		m4, err := runSim(cores, rw4, cw4, 0, 0)
 		if err != nil {
-			return nil, err
+			return modelPoint{}, err
 		}
 		m3, err := runSim(cores, rw3, cw3, trueAlpha["resample"], trueAlpha["combine"])
 		if err != nil {
-			return nil, err
+			return modelPoint{}, err
 		}
-		real4 = append(real4, realMs)
-		sim4 = append(sim4, m4)
-		sim3 = append(sim3, m3)
+		return modelPoint{real: res.MeanMakespan(), m4: m4, m3: m3}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var real4, sim4, sim3 []float64
+	for i, cores := range counts {
+		p := points[i]
+		real4 = append(real4, p.real)
+		sim4 = append(sim4, p.m4)
+		sim3 = append(sim3, p.m3)
 		t.Rows = append(t.Rows, []string{
-			fmt.Sprint(cores), fsec(realMs),
-			fsec(m4), fpct(stats.RelErr(m4, realMs)),
-			fsec(m3), fpct(stats.RelErr(m3, realMs)),
+			fmt.Sprint(cores), fsec(p.real),
+			fsec(p.m4), fpct(stats.RelErr(p.m4, p.real)),
+			fsec(p.m3), fpct(stats.RelErr(p.m3, p.real)),
 		})
 	}
 	avg4, err := stats.MeanRelErr(sim4, real4)

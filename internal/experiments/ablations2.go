@@ -26,7 +26,7 @@ func RunAblationScheduler(opts Options) ([]*Table, error) {
 	// Summit: node selection interacts with data locality, because every
 	// node has its own burst buffer and pre-placed inputs live on specific
 	// nodes' devices.
-	sim := core.MustNewSimulator(simPreset("summit", 2))
+	cfg := simPreset("summit", 2)
 	t := &Table{
 		ID: "ablation-scheduler",
 		Title: fmt.Sprintf("Scheduler policies, 1000Genomes (%d chrom) on 2 Summit nodes, all data in BB",
@@ -49,27 +49,36 @@ func RunAblationScheduler(opts Options) ([]*Table, error) {
 		{"largest-work", exec.OrderLargestWork},
 		{"critical-path", exec.OrderCriticalPath},
 	}
-	var baseline float64
-	for _, np := range nodePolicies {
-		for _, op := range orderPolicies {
-			res, err := sim.Run(wf, core.RunOptions{
-				StagedFraction:    1,
-				IntermediatesToBB: true,
-				PrePlaceInputs:    true,
-				NodePolicy:        np.p,
-				OrderPolicy:       op.p,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("scheduler %s/%s: %w", np.name, op.name, err)
-			}
-			if baseline == 0 { //bbvet:allow float-compare -- zero is the "first row" sentinel; makespans are strictly positive
-				baseline = res.Makespan
-			}
-			t.Rows = append(t.Rows, []string{
-				np.name, op.name, fsec(res.Makespan),
-				fmt.Sprintf("%.3f", res.Makespan/baseline),
-			})
+	type schedPoint struct{ node, order int }
+	var pts []schedPoint
+	for ni := range nodePolicies {
+		for oi := range orderPolicies {
+			pts = append(pts, schedPoint{ni, oi})
 		}
+	}
+	makespans, err := runPoints(o, pts, func(p schedPoint) (float64, error) {
+		np, op := nodePolicies[p.node], orderPolicies[p.order]
+		res, err := core.MustNewSimulator(cfg).Run(wf, core.RunOptions{
+			StagedFraction:    1,
+			IntermediatesToBB: true,
+			PrePlaceInputs:    true,
+			NodePolicy:        np.p,
+			OrderPolicy:       op.p,
+		})
+		if err != nil {
+			return 0, fmt.Errorf("scheduler %s/%s: %w", np.name, op.name, err)
+		}
+		return res.Makespan, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	baseline := makespans[0]
+	for i, p := range pts {
+		t.Rows = append(t.Rows, []string{
+			nodePolicies[p.node].name, orderPolicies[p.order].name, fsec(makespans[i]),
+			fmt.Sprintf("%.3f", makespans[i]/baseline),
+		})
 	}
 	t.Notes = append(t.Notes,
 		"extension beyond the paper: the WMS layer the paper treats as fixed.")
@@ -97,7 +106,6 @@ func RunAblationLifecycle(opts Options) ([]*Table, error) {
 	budget := st.TotalBytes.Times(0.35)
 	cfg := simPreset("cori-private", caseStudyNodes)
 	cfg.BB.Capacity = budget
-	sim := core.MustNewSimulator(cfg)
 
 	t := &Table{
 		ID: "ablation-lifecycle",
@@ -105,22 +113,35 @@ func RunAblationLifecycle(opts Options) ([]*Table, error) {
 			chrom),
 		Header: []string{"% input in BB + intermediates", "static [s]", "with eviction [s]"},
 	}
-	run := func(q float64, evict bool) string {
-		res, err := sim.Run(wf, core.RunOptions{
-			StagedFraction:     q,
+	qs := []float64{0, 0.1, 0.2, 0.3, 0.4}
+	type lifecyclePoint struct {
+		q     float64
+		evict bool
+	}
+	var pts []lifecyclePoint
+	for _, q := range qs {
+		pts = append(pts, lifecyclePoint{q, false}, lifecyclePoint{q, true})
+	}
+	// A point that overflows the constrained BB is a result ("overflow"),
+	// not a sweep-aborting error.
+	cells, err := runPoints(o, pts, func(p lifecyclePoint) (string, error) {
+		res, err := core.MustNewSimulator(cfg).Run(wf, core.RunOptions{
+			StagedFraction:     p.q,
 			IntermediatesToBB:  true,
 			PrePlaceInputs:     true,
-			EvictAfterLastRead: evict,
+			EvictAfterLastRead: p.evict,
 		})
 		if err != nil {
-			return "overflow"
+			return "overflow", nil
 		}
-		return fsec(res.Makespan)
+		return fsec(res.Makespan), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	feasibleStatic, feasibleEvict := 0, 0
-	for _, q := range []float64{0, 0.1, 0.2, 0.3, 0.4} {
-		static := run(q, false)
-		evict := run(q, true)
+	for qi, q := range qs {
+		static, evict := cells[2*qi], cells[2*qi+1]
 		if static != "overflow" {
 			feasibleStatic++
 		}
@@ -152,38 +173,52 @@ func RunAblationVisibility(opts Options) ([]*Table, error) {
 		chrom = 2
 	}
 	wf := genomes.MustNew(genomes.Params{Chromosomes: chrom})
-	sim := core.MustNewSimulator(simPreset("cori-private", 4))
+	cfg := simPreset("cori-private", 4)
 	t := &Table{
 		ID: "ablation-visibility",
 		Title: fmt.Sprintf("Private-mode visibility rule, 1000Genomes (%d chrom) on 4 Cori nodes, all data in BB",
 			chrom),
 		Header: []string{"visibility rule", "node policy", "makespan [s]"},
 	}
-	var lax, strict []float64
-	for _, np := range []struct {
+	nodePolicies := []struct {
 		name string
 		p    exec.NodePolicy
 	}{
 		{"first-fit", exec.NodeFirstFit},
 		{"round-robin", exec.NodeRoundRobin},
-	} {
-		for _, enforce := range []bool{false, true} {
-			res, err := sim.Run(wf, core.RunOptions{
-				StagedFraction: 1, IntermediatesToBB: true, PrePlaceInputs: true,
-				NodePolicy: np.p, EnforcePrivateVisibility: enforce,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("visibility %v/%s: %w", enforce, np.name, err)
-			}
-			label := "ignored (paper's simulator)"
-			if enforce {
-				label = "enforced + PFS relocation"
-				strict = append(strict, res.Makespan)
-			} else {
-				lax = append(lax, res.Makespan)
-			}
-			t.Rows = append(t.Rows, []string{label, np.name, fsec(res.Makespan)})
+	}
+	type visPoint struct {
+		node    int
+		enforce bool
+	}
+	var pts []visPoint
+	for ni := range nodePolicies {
+		pts = append(pts, visPoint{ni, false}, visPoint{ni, true})
+	}
+	makespans, err := runPoints(o, pts, func(p visPoint) (float64, error) {
+		np := nodePolicies[p.node]
+		res, err := core.MustNewSimulator(cfg).Run(wf, core.RunOptions{
+			StagedFraction: 1, IntermediatesToBB: true, PrePlaceInputs: true,
+			NodePolicy: np.p, EnforcePrivateVisibility: p.enforce,
+		})
+		if err != nil {
+			return 0, fmt.Errorf("visibility %v/%s: %w", p.enforce, np.name, err)
 		}
+		return res.Makespan, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var lax, strict []float64
+	for i, p := range pts {
+		label := "ignored (paper's simulator)"
+		if p.enforce {
+			label = "enforced + PFS relocation"
+			strict = append(strict, makespans[i])
+		} else {
+			lax = append(lax, makespans[i])
+		}
+		t.Rows = append(t.Rows, []string{label, nodePolicies[p.node].name, fsec(makespans[i])})
 	}
 	t.Notes = append(t.Notes, fmt.Sprintf(
 		"enforcement costs %.0f%% on average — the \"difficult data management challenges\"",

@@ -4,9 +4,23 @@ import (
 	"fmt"
 
 	"bbwfsim/internal/core"
+	"bbwfsim/internal/runner"
 	"bbwfsim/internal/stats"
 	"bbwfsim/internal/testbed"
+	"bbwfsim/internal/units"
+	"bbwfsim/internal/workflow"
 )
+
+// The accuracy experiments run in two fanned stages: first one calibration
+// per profile (each its own anchor testbed run), then the full profile ×
+// sweep-point grid, where every point runs a private testbed.Runner and a
+// private simulator. Calibrated workflows are shared read-only by the
+// second stage.
+
+// accuracyPoint is one (real run, simulated run) comparison cell.
+type accuracyPoint struct {
+	realMean, realStd, sim float64
+}
 
 // RunFig10 reproduces Figure 10: measured ("real", i.e. testbed) versus
 // simulated makespan of a one-pipeline SWarp (32 cores per task) as the
@@ -18,38 +32,54 @@ func RunFig10(opts Options) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	var tables []*Table
-	for _, prof := range orderedProfiles(1) {
-		simWF, err := calibrateSwarp(prof, 1, 32, o)
+	profiles := orderedProfiles(1)
+	simWFs, err := runPoints(o, profiles, func(prof testbed.Profile) (*workflow.Workflow, error) {
+		return calibrateSwarp(prof, 1, 32, o)
+	})
+	if err != nil {
+		return nil, err
+	}
+	qs := fractions(o)
+	testWF := testbedSwarp(1, 32)
+	points, err := runner.Map(o.Jobs, len(profiles)*len(qs), func(i int) (accuracyPoint, error) {
+		pi, qi := i/len(qs), i%len(qs)
+		prof, q := profiles[pi], qs[qi]
+		res, err := testbed.NewRunner(prof, o.Seed).Run(testWF,
+			testbed.Scenario{StagedFraction: q, IntermediatesToBB: true}, o.Reps)
 		if err != nil {
-			return nil, err
+			return accuracyPoint{}, err
 		}
-		sim := core.MustNewSimulator(simPreset(prof.Name, 1))
+		simRes, err := core.MustNewSimulator(simPreset(prof.Name, 1)).Run(simWFs[pi],
+			core.RunOptions{StagedFraction: q, IntermediatesToBB: true})
+		if err != nil {
+			return accuracyPoint{}, err
+		}
+		return accuracyPoint{
+			realMean: res.MeanMakespan(),
+			realStd:  stats.Std(res.Makespans),
+			sim:      simRes.Makespan,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var tables []*Table
+	for pi, prof := range profiles {
 		t := &Table{
 			ID:     "fig10-" + prof.Name,
 			Title:  fmt.Sprintf("Real vs. simulated makespan [s] on %s (1 pipeline, 32 cores/task)", prof.Name),
 			Header: []string{"% in BB", "real", "simulated", "error"},
 		}
 		var realSeries, simSeries []float64
-		testWF := testbedSwarp(1, 32)
-		for _, q := range fractions(o) {
-			res, err := testbed.NewRunner(prof, o.Seed).Run(testWF,
-				testbed.Scenario{StagedFraction: q, IntermediatesToBB: true}, o.Reps)
-			if err != nil {
-				return nil, err
-			}
-			simRes, err := sim.Run(simWF, core.RunOptions{StagedFraction: q, IntermediatesToBB: true})
-			if err != nil {
-				return nil, err
-			}
-			realMean := res.MeanMakespan()
-			realSeries = append(realSeries, realMean)
-			simSeries = append(simSeries, simRes.Makespan)
+		for qi, q := range qs {
+			p := points[pi*len(qs)+qi]
+			realSeries = append(realSeries, p.realMean)
+			simSeries = append(simSeries, p.sim)
 			t.Rows = append(t.Rows, []string{
 				ffrac(q),
-				fsecStd(realMean, stats.Std(res.Makespans)),
-				fsec(simRes.Makespan),
-				fpct(stats.RelErr(simRes.Makespan, realMean)),
+				fsecStd(p.realMean, p.realStd),
+				fsec(p.sim),
+				fpct(stats.RelErr(p.sim, p.realMean)),
 			})
 		}
 		avg, err := stats.MeanRelErr(simSeries, realSeries)
@@ -78,41 +108,62 @@ func RunFig11(opts Options) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	var tables []*Table
-	for _, prof := range orderedProfiles(1) {
+	profiles := orderedProfiles(1)
+	type works struct{ rw, cw units.Flops }
+	calibrated, err := runPoints(o, profiles, func(prof testbed.Profile) (works, error) {
 		simWF1, err := calibrateSwarp(prof, 1, 1, o)
 		if err != nil {
-			return nil, err
+			return works{}, err
 		}
-		// Extract calibrated works once; regenerate per pipeline count.
-		rw := simWF1.Task("resample_000").Work()
-		cw := simWF1.Task("combine_000").Work()
-		sim := core.MustNewSimulator(simPreset(prof.Name, 1))
+		return works{
+			rw: simWF1.Task("resample_000").Work(),
+			cw: simWF1.Task("combine_000").Work(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	counts := pipelineCounts(o)
+	points, err := runner.Map(o.Jobs, len(profiles)*len(counts), func(i int) (accuracyPoint, error) {
+		pi, ni := i/len(counts), i%len(counts)
+		prof, n := profiles[pi], counts[ni]
+		res, err := testbed.NewRunner(prof, o.Seed).Run(testbedSwarp(n, 1),
+			testbed.Scenario{StagedFraction: 1, IntermediatesToBB: true, CoresPerTask: 1}, o.Reps)
+		if err != nil {
+			return accuracyPoint{}, err
+		}
+		simWF := swarpWithWorks(n, 1, calibrated[pi].rw, calibrated[pi].cw)
+		simRes, err := core.MustNewSimulator(simPreset(prof.Name, 1)).Run(simWF,
+			core.RunOptions{StagedFraction: 1, IntermediatesToBB: true, CoresPerTask: 1})
+		if err != nil {
+			return accuracyPoint{}, err
+		}
+		return accuracyPoint{
+			realMean: res.MeanMakespan(),
+			realStd:  stats.Std(res.Makespans),
+			sim:      simRes.Makespan,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var tables []*Table
+	for pi, prof := range profiles {
 		t := &Table{
 			ID:     "fig11-" + prof.Name,
 			Title:  fmt.Sprintf("Real vs. simulated makespan [s] on %s vs. #pipelines (1 core/task, all in BB)", prof.Name),
 			Header: []string{"pipelines", "real", "simulated", "error"},
 		}
 		var realSeries, simSeries []float64
-		for _, n := range pipelineCounts(o) {
-			res, err := testbed.NewRunner(prof, o.Seed).Run(testbedSwarp(n, 1),
-				testbed.Scenario{StagedFraction: 1, IntermediatesToBB: true, CoresPerTask: 1}, o.Reps)
-			if err != nil {
-				return nil, err
-			}
-			simWF := swarpWithWorks(n, 1, rw, cw)
-			simRes, err := sim.Run(simWF, core.RunOptions{StagedFraction: 1, IntermediatesToBB: true, CoresPerTask: 1})
-			if err != nil {
-				return nil, err
-			}
-			realMean := res.MeanMakespan()
-			realSeries = append(realSeries, realMean)
-			simSeries = append(simSeries, simRes.Makespan)
+		for ni, n := range counts {
+			p := points[pi*len(counts)+ni]
+			realSeries = append(realSeries, p.realMean)
+			simSeries = append(simSeries, p.sim)
 			t.Rows = append(t.Rows, []string{
 				fmt.Sprint(n),
-				fsecStd(realMean, stats.Std(res.Makespans)),
-				fsec(simRes.Makespan),
-				fpct(stats.RelErr(simRes.Makespan, realMean)),
+				fsecStd(p.realMean, p.realStd),
+				fsec(p.sim),
+				fpct(stats.RelErr(p.sim, p.realMean)),
 			})
 		}
 		avg, err := stats.MeanRelErr(simSeries, realSeries)

@@ -5,6 +5,7 @@ import (
 
 	"bbwfsim/internal/core"
 	"bbwfsim/internal/genomes"
+	"bbwfsim/internal/runner"
 	"bbwfsim/internal/stats"
 	"bbwfsim/internal/testbed"
 	"bbwfsim/internal/workflow"
@@ -31,22 +32,26 @@ func caseStudyWorkflow(o Options) *workflow.Workflow {
 }
 
 // runFig13Series simulates the 1000Genomes sweep on both platforms and
-// returns (fractions, cori makespans, summit makespans).
+// returns (fractions, cori makespans, summit makespans). The platform ×
+// fraction grid fans across Options.Jobs workers; every point builds a
+// private simulator over the shared read-only workflow.
 func runFig13Series(o Options) ([]float64, []float64, []float64, error) {
 	wf := caseStudyWorkflow(o)
 	fracs := genomesFractions(o)
-	cori := core.MustNewSimulator(simPreset("cori-private", caseStudyNodes))
-	summit := core.MustNewSimulator(simPreset("summit", caseStudyNodes))
-	opts := core.RunOptions{PrePlaceInputs: true}
-	coriMs, err := cori.SweepFractions(wf, fracs, opts)
+	platforms := []string{"cori-private", "summit"}
+	ms, err := runner.Map(o.Jobs, len(platforms)*len(fracs), func(i int) (float64, error) {
+		name, q := platforms[i/len(fracs)], fracs[i%len(fracs)]
+		sim := core.MustNewSimulator(simPreset(name, caseStudyNodes))
+		res, err := sim.Run(wf, core.RunOptions{PrePlaceInputs: true, StagedFraction: q})
+		if err != nil {
+			return 0, fmt.Errorf("fig13 sweep on %s at fraction %g: %w", name, q, err)
+		}
+		return res.Makespan, nil
+	})
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	summitMs, err := summit.SweepFractions(wf, fracs, opts)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	return fracs, coriMs, summitMs, nil
+	return fracs, ms[:len(fracs)], ms[len(fracs):], nil
 }
 
 // RunFig13 reproduces Figure 13: simulated makespan of the 903-task
@@ -106,16 +111,16 @@ func RunFig14(opts Options) ([]*Table, error) {
 	// testbed at a few fractions only (the prior work measured a handful).
 	refWF := genomes.MustNew(genomes.Params{Chromosomes: 2})
 	refFracs := []float64{0, 0.5, 1}
-	runner := testbed.NewRunner(testbed.CoriPrivate(caseStudyNodes), o.Seed)
-	refMs := make([]float64, len(refFracs))
-	for i, q := range refFracs {
-		res, err := runner.Run(refWF, testbed.Scenario{
-			StagedFraction: q, PrePlaceInputs: true,
-		}, o.Reps)
+	refMs, err := runPoints(o, refFracs, func(q float64) (float64, error) {
+		res, err := testbed.NewRunner(testbed.CoriPrivate(caseStudyNodes), o.Seed).Run(refWF,
+			testbed.Scenario{StagedFraction: q, PrePlaceInputs: true}, o.Reps)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		refMs[i] = res.MeanMakespan()
+		return res.MeanMakespan(), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	refSpeedup := stats.Speedup(refMs[0], refMs)
 

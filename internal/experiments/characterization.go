@@ -6,7 +6,16 @@ import (
 	"bbwfsim/internal/platform"
 	"bbwfsim/internal/stats"
 	"bbwfsim/internal/testbed"
+	"bbwfsim/internal/workflow"
 )
+
+// The characterization sweeps (Figs. 4–9) are grids of independent testbed
+// runs — every (scenario, profile) point builds its own Runner — so each
+// grid is enumerated once and fanned across Options.Jobs workers via
+// runPoints, then rows are assembled from the results in sweep order.
+// Figures that report several tasks from the same run (5, 6, 7) execute
+// each grid point once and feed every per-task table from that single
+// result, instead of re-running the identical simulation per task.
 
 // RunTable1 renders Table I: the platform calibration parameters the
 // lightweight simulator uses.
@@ -41,6 +50,14 @@ func RunTable1(opts Options) ([]*Table, error) {
 	return []*Table{t}, nil
 }
 
+// testbedPoint is one cell of a characterization grid: a profile × scenario
+// pair, run on a private testbed.Runner.
+type testbedPoint struct {
+	prof testbed.Profile
+	sc   testbed.Scenario
+	wf   int // index into the sweep's workflow list
+}
+
 // RunFig4 reproduces Figure 4: stage-in execution time of a one-pipeline
 // SWarp (32 cores per task) versus the percentage of input files staged
 // into the burst buffer, on all three machines.
@@ -56,17 +73,27 @@ func RunFig4(opts Options) ([]*Table, error) {
 	}
 	wf := testbedSwarp(1, 32)
 	profiles := orderedProfiles(1)
-	for _, q := range fractions(o) {
-		row := []string{ffrac(q)}
+	qs := fractions(o)
+	var pts []testbedPoint
+	for _, q := range qs {
 		for _, prof := range profiles {
-			res, err := testbed.NewRunner(prof, o.Seed).Run(wf,
-				testbed.Scenario{StagedFraction: q, IntermediatesToBB: true}, o.Reps)
-			if err != nil {
-				return nil, err
-			}
-			times := res.TaskMeans["stage_in"]
-			row = append(row, fsecStd(stats.Mean(times), stats.Std(times)))
+			pts = append(pts, testbedPoint{prof: prof,
+				sc: testbed.Scenario{StagedFraction: q, IntermediatesToBB: true}})
 		}
+	}
+	cells, err := runPoints(o, pts, func(p testbedPoint) (string, error) {
+		res, err := testbed.NewRunner(p.prof, o.Seed).Run(wf, p.sc, o.Reps)
+		if err != nil {
+			return "", err
+		}
+		times := res.TaskMeans["stage_in"]
+		return fsecStd(stats.Mean(times), stats.Std(times)), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for qi, q := range qs {
+		row := append([]string{ffrac(q)}, cells[qi*len(profiles):(qi+1)*len(profiles)]...)
 		t.Rows = append(t.Rows, row)
 	}
 	t.Notes = append(t.Notes,
@@ -77,7 +104,8 @@ func RunFig4(opts Options) ([]*Table, error) {
 
 // RunFig5 reproduces Figure 5: Resample and Combine execution times per BB
 // mode, with intermediates on the BB versus on the PFS, sweeping the
-// fraction of input files staged (1 pipeline, 32 cores per task).
+// fraction of input files staged (1 pipeline, 32 cores per task). Each grid
+// point runs once; both task tables read from the same result.
 func RunFig5(opts Options) ([]*Table, error) {
 	o, err := opts.withDefaults()
 	if err != nil {
@@ -85,6 +113,23 @@ func RunFig5(opts Options) ([]*Table, error) {
 	}
 	wf := testbedSwarp(1, 32)
 	profiles := orderedProfiles(1)
+	qs := fractions(o)
+	var pts []testbedPoint
+	for _, q := range qs {
+		for _, prof := range profiles {
+			for _, intBB := range []bool{true, false} {
+				pts = append(pts, testbedPoint{prof: prof,
+					sc: testbed.Scenario{StagedFraction: q, IntermediatesToBB: intBB}})
+			}
+		}
+	}
+	results, err := runPoints(o, pts, func(p testbedPoint) (*testbed.Result, error) {
+		return testbed.NewRunner(p.prof, o.Seed).Run(wf, p.sc, o.Reps)
+	})
+	if err != nil {
+		return nil, err
+	}
+	perQ := len(profiles) * 2
 	tables := make([]*Table, 0, 2)
 	for _, taskName := range []string{"resample", "combine"} {
 		t := &Table{
@@ -95,17 +140,10 @@ func RunFig5(opts Options) ([]*Table, error) {
 				"striped/int-BB", "striped/int-PFS",
 				"on-node/int-BB", "on-node/int-PFS"},
 		}
-		for _, q := range fractions(o) {
+		for qi, q := range qs {
 			row := []string{ffrac(q)}
-			for _, prof := range profiles {
-				for _, intBB := range []bool{true, false} {
-					res, err := testbed.NewRunner(prof, o.Seed).Run(wf,
-						testbed.Scenario{StagedFraction: q, IntermediatesToBB: intBB}, o.Reps)
-					if err != nil {
-						return nil, err
-					}
-					row = append(row, fsec(res.TaskMean(taskName)))
-				}
+			for _, res := range results[qi*perQ : (qi+1)*perQ] {
+				row = append(row, fsec(res.TaskMean(taskName)))
 			}
 			t.Rows = append(t.Rows, row)
 		}
@@ -118,13 +156,30 @@ func RunFig5(opts Options) ([]*Table, error) {
 }
 
 // RunFig6 reproduces Figure 6: execution time versus cores per task with
-// all data in the burst buffer (1 pipeline).
+// all data in the burst buffer (1 pipeline). Each (cores, profile) point
+// runs once; both task tables read from the same result.
 func RunFig6(opts Options) ([]*Table, error) {
 	o, err := opts.withDefaults()
 	if err != nil {
 		return nil, err
 	}
 	profiles := orderedProfiles(1)
+	cores := coreCounts(o)
+	wfs := make([]*workflow.Workflow, len(cores))
+	var pts []testbedPoint
+	for ci, c := range cores {
+		wfs[ci] = testbedSwarp(1, c)
+		for _, prof := range profiles {
+			pts = append(pts, testbedPoint{prof: prof, wf: ci,
+				sc: testbed.Scenario{StagedFraction: 1, IntermediatesToBB: true, CoresPerTask: c}})
+		}
+	}
+	results, err := runPoints(o, pts, func(p testbedPoint) (*testbed.Result, error) {
+		return testbed.NewRunner(p.prof, o.Seed).Run(wfs[p.wf], p.sc, o.Reps)
+	})
+	if err != nil {
+		return nil, err
+	}
 	tables := make([]*Table, 0, 2)
 	for _, taskName := range []string{"resample", "combine"} {
 		t := &Table{
@@ -132,15 +187,9 @@ func RunFig6(opts Options) ([]*Table, error) {
 			Title:  fmt.Sprintf("%s execution time [s] vs. cores per task (all data in BB)", taskName),
 			Header: []string{"cores", "cori-private", "cori-striped", "summit"},
 		}
-		for _, cores := range coreCounts(o) {
-			wf := testbedSwarp(1, cores)
-			row := []string{fmt.Sprint(cores)}
-			for _, prof := range profiles {
-				res, err := testbed.NewRunner(prof, o.Seed).Run(wf,
-					testbed.Scenario{StagedFraction: 1, IntermediatesToBB: true, CoresPerTask: cores}, o.Reps)
-				if err != nil {
-					return nil, err
-				}
+		for ci, c := range cores {
+			row := []string{fmt.Sprint(c)}
+			for _, res := range results[ci*len(profiles) : (ci+1)*len(profiles)] {
 				row = append(row, fsec(res.TaskMean(taskName)))
 			}
 			t.Rows = append(t.Rows, row)
@@ -155,13 +204,30 @@ func RunFig6(opts Options) ([]*Table, error) {
 
 // RunFig7 reproduces Figure 7: execution time versus the number of
 // concurrent pipelines on one node (1 core per task, everything in the
-// BB).
+// BB). Each (pipelines, profile) point runs once; the three task tables
+// read from the same result.
 func RunFig7(opts Options) ([]*Table, error) {
 	o, err := opts.withDefaults()
 	if err != nil {
 		return nil, err
 	}
 	profiles := orderedProfiles(1)
+	counts := pipelineCounts(o)
+	wfs := make([]*workflow.Workflow, len(counts))
+	var pts []testbedPoint
+	for ni, n := range counts {
+		wfs[ni] = testbedSwarp(n, 1)
+		for _, prof := range profiles {
+			pts = append(pts, testbedPoint{prof: prof, wf: ni,
+				sc: testbed.Scenario{StagedFraction: 1, IntermediatesToBB: true, CoresPerTask: 1}})
+		}
+	}
+	results, err := runPoints(o, pts, func(p testbedPoint) (*testbed.Result, error) {
+		return testbed.NewRunner(p.prof, o.Seed).Run(wfs[p.wf], p.sc, o.Reps)
+	})
+	if err != nil {
+		return nil, err
+	}
 	var tables []*Table
 	for _, taskName := range []string{"stage_in", "resample", "combine"} {
 		t := &Table{
@@ -169,15 +235,9 @@ func RunFig7(opts Options) ([]*Table, error) {
 			Title:  fmt.Sprintf("%s execution time [s] vs. #pipelines (1 core/task, all data in BB)", taskName),
 			Header: []string{"pipelines", "cori-private", "cori-striped", "summit"},
 		}
-		for _, n := range pipelineCounts(o) {
-			wf := testbedSwarp(n, 1)
+		for ni, n := range counts {
 			row := []string{fmt.Sprint(n)}
-			for _, prof := range profiles {
-				res, err := testbed.NewRunner(prof, o.Seed).Run(wf,
-					testbed.Scenario{StagedFraction: 1, IntermediatesToBB: true, CoresPerTask: 1}, o.Reps)
-				if err != nil {
-					return nil, err
-				}
+			for _, res := range results[ni*len(profiles) : (ni+1)*len(profiles)] {
 				row = append(row, fsec(res.TaskMean(taskName)))
 			}
 			t.Rows = append(t.Rows, row)
@@ -198,22 +258,33 @@ func RunFig8(opts Options) ([]*Table, error) {
 		return nil, err
 	}
 	profiles := orderedProfiles(1)
+	counts := pipelineCounts(o)
 	t := &Table{
 		ID:     "fig8",
 		Title:  "Resample variability vs. #pipelines (all data in BB, 1 core/task)",
 		Header: []string{"pipelines", "private CV", "striped CV", "summit CV"},
 	}
-	for _, n := range pipelineCounts(o) {
-		wf := testbedSwarp(n, 1)
-		row := []string{fmt.Sprint(n)}
+	wfs := make([]*workflow.Workflow, len(counts))
+	var pts []testbedPoint
+	for ni, n := range counts {
+		wfs[ni] = testbedSwarp(n, 1)
 		for _, prof := range profiles {
-			res, err := testbed.NewRunner(prof, o.Seed).Run(wf,
-				testbed.Scenario{StagedFraction: 1, IntermediatesToBB: true, CoresPerTask: 1}, o.Reps)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, fpct(stats.CV(res.TaskMeans["resample"])))
+			pts = append(pts, testbedPoint{prof: prof, wf: ni,
+				sc: testbed.Scenario{StagedFraction: 1, IntermediatesToBB: true, CoresPerTask: 1}})
 		}
+	}
+	cells, err := runPoints(o, pts, func(p testbedPoint) (string, error) {
+		res, err := testbed.NewRunner(p.prof, o.Seed).Run(wfs[p.wf], p.sc, o.Reps)
+		if err != nil {
+			return "", err
+		}
+		return fpct(stats.CV(res.TaskMeans["resample"])), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ni, n := range counts {
+		row := append([]string{fmt.Sprint(n)}, cells[ni*len(profiles):(ni+1)*len(profiles)]...)
 		t.Rows = append(t.Rows, row)
 	}
 	t.Notes = append(t.Notes,
@@ -234,18 +305,23 @@ func RunFig9(opts Options) ([]*Table, error) {
 		Header: []string{"configuration", "read bandwidth", "write bandwidth"},
 	}
 	wf := testbedSwarp(8, 32)
-	for _, prof := range orderedProfiles(1) {
+	profiles := orderedProfiles(1)
+	rows, err := runPoints(o, profiles, func(prof testbed.Profile) ([]string, error) {
 		res, err := testbed.NewRunner(prof, o.Seed).Run(wf,
 			testbed.Scenario{StagedFraction: 1, IntermediatesToBB: true}, o.Reps)
 		if err != nil {
 			return nil, err
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			prof.Name,
 			fbw(stats.Mean(res.BBReadBW)),
 			fbw(stats.Mean(res.BBWriteBW)),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	t.Notes = append(t.Notes,
 		"expected ordering: on-node ≫ private ≫ striped; all far below hardware peak",
 		"(per-op latency and POSIX single-stream limits), per paper Fig. 9.")

@@ -40,9 +40,7 @@ func RunAblationCheckpoint(opts Options) ([]*Table, error) {
 		{"cori-private", ""}, {"cori-private", "bb"}, {"cori-private", "pfs"},
 		{"summit", ""}, {"summit", "bb"}, {"summit", "pfs"},
 	}
-	baselines := map[string]float64{}
-	var coriSlow, summitSlow float64
-	for _, c := range cases {
+	makespans, err := runPoints(o, cases, func(c cfg) (float64, error) {
 		sim := core.MustNewSimulator(simPreset(c.name, 1))
 		ro := core.RunOptions{StagedFraction: 1, IntermediatesToBB: true}
 		label := "none"
@@ -57,20 +55,35 @@ func RunAblationCheckpoint(opts Options) ([]*Table, error) {
 				FirstWave: 1,
 			})
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			ro.Background = []exec.Background{inj}
 			label = c.target
 		}
 		res, err := sim.Run(wf, ro)
 		if err != nil {
-			return nil, fmt.Errorf("checkpoint %s/%s: %w", c.name, label, err)
+			return 0, fmt.Errorf("checkpoint %s/%s: %w", c.name, label, err)
+		}
+		return res.Makespan, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Baselines (the target == "" rows) come first for each platform, so
+	// the slowdown column assembles serially from the collected makespans.
+	baselines := map[string]float64{}
+	var coriSlow, summitSlow float64
+	for i, c := range cases {
+		ms := makespans[i]
+		label := "none"
+		if c.target != "" {
+			label = c.target
 		}
 		slowdown := ""
 		if c.target == "" {
-			baselines[c.name] = res.Makespan
+			baselines[c.name] = ms
 		} else {
-			s := res.Makespan / baselines[c.name]
+			s := ms / baselines[c.name]
 			slowdown = fmt.Sprintf("%.2f×", s)
 			if c.target == "bb" {
 				if c.name == "cori-private" {
@@ -80,7 +93,7 @@ func RunAblationCheckpoint(opts Options) ([]*Table, error) {
 				}
 			}
 		}
-		t.Rows = append(t.Rows, []string{c.name, label, fsec(res.Makespan), slowdown})
+		t.Rows = append(t.Rows, []string{c.name, label, fsec(ms), slowdown})
 	}
 	t.Notes = append(t.Notes, fmt.Sprintf(
 		"checkpoints into the *shared* BB slow the workflow %.2f× on cori vs %.2f× on", coriSlow, summitSlow),

@@ -18,6 +18,7 @@ import (
 	"bbwfsim/internal/calib"
 	"bbwfsim/internal/core"
 	"bbwfsim/internal/platform"
+	"bbwfsim/internal/runner"
 	"bbwfsim/internal/swarp"
 	"bbwfsim/internal/testbed"
 	"bbwfsim/internal/units"
@@ -41,6 +42,12 @@ type Options struct {
 	// `bbexp -walltime` does. Deterministic packages cannot read the wall
 	// clock themselves (bbvet's no-walltime rule).
 	Stopwatch func() time.Duration
+	// Jobs is the worker count for fanning a sweep's independent run
+	// points across goroutines via internal/runner. Values < 1 resolve to
+	// GOMAXPROCS; 1 executes serially. Every run point owns private
+	// simulation state, so output is bit-identical at any Jobs value —
+	// parallelism only changes wall-clock time.
+	Jobs int
 }
 
 // withDefaults validates the options and fills the defaults in. Invalid
@@ -302,6 +309,15 @@ func calibrateSwarp(prof testbed.Profile, pipelines, cores int, o Options) (*wor
 		ResampleWork: rw,
 		CombineWork:  cw,
 	}), nil
+}
+
+// runPoints fans one simulation run per element of ps across o.Jobs
+// workers (internal/runner) and returns the results in point order. Each
+// point function builds its own simulator/testbed state, so results — and
+// therefore every table row assembled from them — are bit-identical to a
+// serial loop at any Jobs value.
+func runPoints[P, R any](o Options, ps []P, fn func(P) (R, error)) ([]R, error) {
+	return runner.Map(o.Jobs, len(ps), func(i int) (R, error) { return fn(ps[i]) })
 }
 
 // --- formatting helpers ---------------------------------------------------

@@ -5,9 +5,11 @@ import (
 
 	"bbwfsim/internal/calib"
 	"bbwfsim/internal/core"
+	"bbwfsim/internal/runner"
 	"bbwfsim/internal/stats"
 	"bbwfsim/internal/testbed"
 	"bbwfsim/internal/trace"
+	"bbwfsim/internal/units"
 )
 
 // lambdaFromTrace adapts a trace into calib.LambdaFromRecords input,
@@ -47,68 +49,100 @@ func RunAblationLambda(opts Options) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	var tables []*Table
-	for _, prof := range orderedProfiles(1) {
-		runner := testbed.NewRunner(prof, o.Seed)
-		testWF := testbedSwarp(1, 32)
-		anchorScenario := testbed.Scenario{StagedFraction: 1, IntermediatesToBB: true}
-		anchor, err := runner.Run(testWF, anchorScenario, o.Reps)
-		if err != nil {
-			return nil, err
-		}
-		measuredLambda := lambdaFromTrace(anchor.LastTrace)
+	profiles := orderedProfiles(1)
+	testWF := testbedSwarp(1, 32)
+	qs := fractions(o)
 
-		calibrate := func(lambdaRes, lambdaCom float64) (*core.Simulator, []float64, error) {
-			obs := []calib.Observation{
-				{TaskName: "resample", Cores: 32, Time: anchor.TaskMean("resample"), LambdaIO: lambdaRes},
-				{TaskName: "combine", Cores: 32, Time: anchor.TaskMean("combine"), LambdaIO: lambdaCom},
-			}
-			cal, err := core.CalibrateWorks(obs, prof.Platform.CoreSpeed)
+	// Stage 1, one point per profile: the anchor testbed run, the λ
+	// measured from its trace, and the calibrated works for both λ sources.
+	type calibration struct {
+		lambda               map[string]float64
+		paperRW, paperCW     units.Flops
+		measureRW, measureCW units.Flops
+	}
+	calibrate := func(prof testbed.Profile, anchor *testbed.Result, lambdaRes, lambdaCom float64) (units.Flops, units.Flops, error) {
+		obs := []calib.Observation{
+			{TaskName: "resample", Cores: 32, Time: anchor.TaskMean("resample"), LambdaIO: lambdaRes},
+			{TaskName: "combine", Cores: 32, Time: anchor.TaskMean("combine"), LambdaIO: lambdaCom},
+		}
+		cal, err := core.CalibrateWorks(obs, prof.Platform.CoreSpeed)
+		if err != nil {
+			return 0, 0, err
+		}
+		rw, _ := cal.Work("resample")
+		cw, _ := cal.Work("combine")
+		return rw, cw, nil
+	}
+	calibrations, err := runPoints(o, profiles, func(prof testbed.Profile) (calibration, error) {
+		anchor, err := testbed.NewRunner(prof, o.Seed).Run(testWF,
+			testbed.Scenario{StagedFraction: 1, IntermediatesToBB: true}, o.Reps)
+		if err != nil {
+			return calibration{}, err
+		}
+		c := calibration{lambda: lambdaFromTrace(anchor.LastTrace)}
+		if c.paperRW, c.paperCW, err = calibrate(prof, anchor, calib.LambdaIOResample, calib.LambdaIOCombine); err != nil {
+			return calibration{}, err
+		}
+		if c.measureRW, c.measureCW, err = calibrate(prof, anchor, c.lambda["resample"], c.lambda["combine"]); err != nil {
+			return calibration{}, err
+		}
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 2, one point per (profile, fraction): the real testbed run and
+	// the two simulator predictions.
+	type lambdaPoint struct{ real, paper, measured float64 }
+	points, err := runner.Map(o.Jobs, len(profiles)*len(qs), func(i int) (lambdaPoint, error) {
+		pi, qi := i/len(qs), i%len(qs)
+		prof, q, c := profiles[pi], qs[qi], calibrations[pi]
+		res, err := testbed.NewRunner(prof, o.Seed).Run(testWF,
+			testbed.Scenario{StagedFraction: q, IntermediatesToBB: true}, o.Reps)
+		if err != nil {
+			return lambdaPoint{}, err
+		}
+		simRun := func(rw, cw units.Flops) (float64, error) {
+			r, err := core.MustNewSimulator(simPreset(prof.Name, 1)).Run(swarpWithWorks(1, 32, rw, cw),
+				core.RunOptions{StagedFraction: q, IntermediatesToBB: true})
 			if err != nil {
-				return nil, nil, err
+				return 0, err
 			}
-			rw, _ := cal.Work("resample")
-			cw, _ := cal.Work("combine")
-			sim := core.MustNewSimulator(simPreset(prof.Name, 1))
-			var series []float64
-			for _, q := range fractions(o) {
-				res, err := sim.Run(swarpWithWorks(1, 32, rw, cw),
-					core.RunOptions{StagedFraction: q, IntermediatesToBB: true})
-				if err != nil {
-					return nil, nil, err
-				}
-				series = append(series, res.Makespan)
-			}
-			return sim, series, nil
+			return r.Makespan, nil
 		}
+		p := lambdaPoint{real: res.MeanMakespan()}
+		if p.paper, err = simRun(c.paperRW, c.paperCW); err != nil {
+			return lambdaPoint{}, err
+		}
+		if p.measured, err = simRun(c.measureRW, c.measureCW); err != nil {
+			return lambdaPoint{}, err
+		}
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 
-		_, paperSeries, err := calibrate(calib.LambdaIOResample, calib.LambdaIOCombine)
-		if err != nil {
-			return nil, err
-		}
-		_, measuredSeries, err := calibrate(measuredLambda["resample"], measuredLambda["combine"])
-		if err != nil {
-			return nil, err
-		}
-
-		var realSeries []float64
+	var tables []*Table
+	for pi, prof := range profiles {
+		measuredLambda := calibrations[pi].lambda
 		t := &Table{
 			ID: "ablation-lambda-" + prof.Name,
 			Title: fmt.Sprintf("λ_io source on %s: paper's PFS values vs. measured on the target mode",
 				prof.Name),
 			Header: []string{"% in BB", "real [s]", "paper-λ sim [s]", "err", "measured-λ sim [s]", "err"},
 		}
-		for i, q := range fractions(o) {
-			res, err := runner.Run(testWF, testbed.Scenario{StagedFraction: q, IntermediatesToBB: true}, o.Reps)
-			if err != nil {
-				return nil, err
-			}
-			realMean := res.MeanMakespan()
-			realSeries = append(realSeries, realMean)
+		var realSeries, paperSeries, measuredSeries []float64
+		for qi, q := range qs {
+			p := points[pi*len(qs)+qi]
+			realSeries = append(realSeries, p.real)
+			paperSeries = append(paperSeries, p.paper)
+			measuredSeries = append(measuredSeries, p.measured)
 			t.Rows = append(t.Rows, []string{
-				ffrac(q), fsec(realMean),
-				fsec(paperSeries[i]), fpct(stats.RelErr(paperSeries[i], realMean)),
-				fsec(measuredSeries[i]), fpct(stats.RelErr(measuredSeries[i], realMean)),
+				ffrac(q), fsec(p.real),
+				fsec(p.paper), fpct(stats.RelErr(p.paper, p.real)),
+				fsec(p.measured), fpct(stats.RelErr(p.measured, p.real)),
 			})
 		}
 		avgPaper, err := stats.MeanRelErr(paperSeries, realSeries)

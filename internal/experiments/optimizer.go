@@ -34,13 +34,19 @@ func RunAblationOptimizer(opts Options) ([]*Table, error) {
 	budget := st.TotalBytes.Times(0.30)
 	cfg := simPreset("cori-private", 4)
 	cfg.BB.Capacity = budget
-	sim := core.MustNewSimulator(cfg)
-	oracle := func(pol *placement.Set) (float64, error) {
-		res, err := sim.Run(wf, core.RunOptions{Placement: pol, PrePlaceInputs: true})
-		if err != nil {
-			return 0, err
+	// Each of the four strategies is one run point with its own simulator
+	// and oracle: the two static placements cost one simulation each, the
+	// two searches are inherently sequential oracle loops, so strategy-level
+	// fan-out is the available parallelism.
+	newOracle := func() func(pol *placement.Set) (float64, error) {
+		sim := core.MustNewSimulator(cfg)
+		return func(pol *placement.Set) (float64, error) {
+			res, err := sim.Run(wf, core.RunOptions{Placement: pol, PrePlaceInputs: true})
+			if err != nil {
+				return 0, err
+			}
+			return res.Makespan, nil
 		}
-		return res.Makespan, nil
 	}
 
 	t := &Table{
@@ -49,39 +55,60 @@ func RunAblationOptimizer(opts Options) ([]*Table, error) {
 			chrom),
 		Header: []string{"strategy", "makespan [s]", "speedup vs all-PFS", "simulations"},
 	}
-	addStatic := func(name string, pol *placement.Set) (float64, error) {
-		ms, err := oracle(pol)
+	type strategy struct {
+		name string
+		run  func() (float64, int, error) // makespan, simulations
+	}
+	static := func(name string, build func() *placement.Set) strategy {
+		return strategy{name, func() (float64, int, error) {
+			ms, err := newOracle()(build())
+			if err != nil {
+				return 0, 0, fmt.Errorf("optimizer baseline %s: %w", name, err)
+			}
+			return ms, 1, nil
+		}}
+	}
+	strategies := []strategy{
+		static("all-pfs", placement.AllPFS),
+		static("fanout-greedy (static)", func() *placement.Set { return placement.NewFanoutGreedy(wf, budget) }),
+		{"local search (simulator oracle)", func() (float64, int, error) {
+			ls, err := optimize.LocalSearch(wf, newOracle(), optimize.Params{
+				Budget: budget, Iterations: iters, Seed: o.Seed,
+			})
+			if err != nil {
+				return 0, 0, err
+			}
+			return ls.BestMakespan, ls.Evaluations, nil
+		}},
+		{"greedy marginal (simulator oracle)", func() (float64, int, error) {
+			gm, err := optimize.GreedyMarginal(wf, newOracle(), optimize.Params{
+				Budget: budget, Iterations: iters, Seed: o.Seed, CandidateSample: 12,
+			})
+			if err != nil {
+				return 0, 0, err
+			}
+			return gm.BestMakespan, gm.Evaluations, nil
+		}},
+	}
+	type optPoint struct {
+		ms    float64
+		evals int
+	}
+	points, err := runPoints(o, strategies, func(s strategy) (optPoint, error) {
+		ms, evals, err := s.run()
 		if err != nil {
-			return 0, fmt.Errorf("optimizer baseline %s: %w", name, err)
+			return optPoint{}, err
 		}
-		t.Rows = append(t.Rows, []string{name, fsec(ms), "", "1"})
-		return ms, nil
-	}
-	baseline, err := addStatic("all-pfs", placement.AllPFS())
-	if err != nil {
-		return nil, err
-	}
-	fanoutMs, err := addStatic("fanout-greedy (static)", placement.NewFanoutGreedy(wf, budget))
-	if err != nil {
-		return nil, err
-	}
-
-	ls, err := optimize.LocalSearch(wf, oracle, optimize.Params{
-		Budget: budget, Iterations: iters, Seed: o.Seed,
+		return optPoint{ms, evals}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	gm, err := optimize.GreedyMarginal(wf, oracle, optimize.Params{
-		Budget: budget, Iterations: iters, Seed: o.Seed, CandidateSample: 12,
-	})
-	if err != nil {
-		return nil, err
+	baseline, fanoutMs := points[0].ms, points[1].ms
+	lsMs, gmMs := points[2].ms, points[3].ms
+	for i, s := range strategies {
+		t.Rows = append(t.Rows, []string{s.name, fsec(points[i].ms), "", fmt.Sprint(points[i].evals)})
 	}
-	t.Rows = append(t.Rows,
-		[]string{"local search (simulator oracle)", fsec(ls.BestMakespan), "", fmt.Sprint(ls.Evaluations)},
-		[]string{"greedy marginal (simulator oracle)", fsec(gm.BestMakespan), "", fmt.Sprint(gm.Evaluations)},
-	)
 	// Fill speedups.
 	for i := range t.Rows {
 		if t.Rows[i][2] == "" || i == 0 {
@@ -91,9 +118,9 @@ func RunAblationOptimizer(opts Options) ([]*Table, error) {
 			t.Rows[i][2] = fmt.Sprintf("%.2f", baseline/ms)
 		}
 	}
-	best := ls.BestMakespan
-	if gm.BestMakespan < best {
-		best = gm.BestMakespan
+	best := lsMs
+	if gmMs < best {
+		best = gmMs
 	}
 	t.Notes = append(t.Notes, fmt.Sprintf(
 		"search beats the best static heuristic by %.1f%% (%.2fs vs %.2fs) at the cost of",
@@ -126,7 +153,13 @@ func RunScalability(opts Options) ([]*Table, error) {
 	if o.Quick {
 		counts = []int{8, 64}
 	}
-	for _, pipelines := range counts {
+	// With a stopwatch injected, the points must run one at a time in row
+	// order — concurrent runs would time each other's interference.
+	po := o
+	if o.Stopwatch != nil {
+		po.Jobs = 1
+	}
+	rows, err := runPoints(po, counts, func(pipelines int) ([]string, error) {
 		wf := swarp.MustNew(swarp.Params{Pipelines: pipelines, CoresPerTask: 1})
 		sim := core.MustNewSimulator(platform.Cori(1, platform.BBPrivate))
 		var start time.Duration
@@ -150,8 +183,12 @@ func RunScalability(opts Options) ([]*Table, error) {
 				fmt.Sprintf("%.0f", res.Makespan/wall.Seconds()),
 			)
 		}
-		t.Rows = append(t.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	t.Notes = append(t.Notes,
 		"the fluid model's cost scales with flow-set changes (events), not transferred bytes,",
 		"which is what makes thorough design-space exploration cheap (paper Section I).")

@@ -61,37 +61,74 @@ func regimeConfig(r faultRegime, baseline float64, seed int64) faults.Config {
 	}
 }
 
-// resilienceRows runs the regime × retry sweep for one platform and
-// workflow, appending one row per configuration.
-func resilienceRows(t *Table, profile string, nodes int, wf *workflow.Workflow, ro core.RunOptions, o Options) error {
-	sim := core.MustNewSimulator(simPreset(profile, nodes))
-	base, err := sim.Run(wf, ro)
-	if err != nil {
-		return fmt.Errorf("resilience %s baseline: %w", profile, err)
-	}
-	caseSeed := o.Seed
-	for _, reg := range faultRegimes {
-		if reg.crashDiv == 0 { //bbvet:allow float-compare -- zero is the literal "no faults" sentinel from the regime table, never computed
-			t.Rows = append(t.Rows, []string{profile, reg.label, "—",
-				fsec(base.Makespan), "1.00×", "0", "0", "0", "0"})
-			continue
+// resilienceRows runs the regime × retry sweep for the given platform
+// profiles, appending one row per configuration in profile-major order.
+//
+// The sweep fans across Options.Jobs workers in two stages: first the
+// fault-free baseline per profile, then every (profile, regime, retry)
+// fault case. Each case's seed is the closed form o.Seed + 9176·k (k-th
+// fault case of its profile, counted in regime × retry order) — exactly the
+// values the serial caseSeed += 9176 accumulation drew — so every fault
+// stream is bit-identical at any Jobs value.
+func resilienceRows(t *Table, profiles []string, nodes int, wf *workflow.Workflow, ro core.RunOptions, o Options) error {
+	baselines, err := runPoints(o, profiles, func(profile string) (*core.Result, error) {
+		sim := core.MustNewSimulator(simPreset(profile, nodes))
+		base, err := sim.Run(wf, ro)
+		if err != nil {
+			return nil, fmt.Errorf("resilience %s baseline: %w", profile, err)
 		}
-		for _, rc := range retryCases(o.Seed) {
-			caseSeed += 9176 // disjoint fault streams per configuration
-			inj, err := faults.New(regimeConfig(reg, base.Makespan, caseSeed))
-			if err != nil {
-				return err
+		return base, nil
+	})
+	if err != nil {
+		return err
+	}
+	type faultCase struct {
+		profile string
+		base    *core.Result
+		reg     faultRegime
+		rc      retryCase
+		seed    int64
+	}
+	var cases []faultCase
+	for pi, profile := range profiles {
+		caseSeed := o.Seed
+		for _, reg := range faultRegimes {
+			if reg.crashDiv == 0 { //bbvet:allow float-compare -- zero is the literal "no faults" sentinel from the regime table, never computed
+				continue
 			}
-			fo := ro
-			fo.Faults = inj
-			fo.Retry = rc.policy
-			fo.BBFallback = true
-			res, err := sim.Run(wf, fo)
-			if err != nil {
-				return fmt.Errorf("resilience %s/%s/%s: %w", profile, reg.label, rc.label, err)
+			for _, rc := range retryCases(o.Seed) {
+				caseSeed += 9176 // disjoint fault streams per configuration
+				cases = append(cases, faultCase{profile, baselines[pi], reg, rc, caseSeed})
 			}
+		}
+	}
+	results, err := runPoints(o, cases, func(c faultCase) (*core.Result, error) {
+		inj, err := faults.New(regimeConfig(c.reg, c.base.Makespan, c.seed))
+		if err != nil {
+			return nil, err
+		}
+		fo := ro
+		fo.Faults = inj
+		fo.Retry = c.rc.policy
+		fo.BBFallback = true
+		res, err := core.MustNewSimulator(simPreset(c.profile, nodes)).Run(wf, fo)
+		if err != nil {
+			return nil, fmt.Errorf("resilience %s/%s/%s: %w", c.profile, c.reg.label, c.rc.label, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return err
+	}
+	casesPerProfile := len(cases) / len(profiles)
+	for pi, profile := range profiles {
+		base := baselines[pi]
+		t.Rows = append(t.Rows, []string{profile, faultRegimes[0].label, "—",
+			fsec(base.Makespan), "1.00×", "0", "0", "0", "0"})
+		for ci := pi * casesPerProfile; ci < (pi+1)*casesPerProfile; ci++ {
+			c, res := cases[ci], results[ci]
 			t.Rows = append(t.Rows, []string{
-				profile, reg.label, rc.label,
+				profile, c.reg.label, c.rc.label,
 				fsec(res.Makespan),
 				fmt.Sprintf("%.2f×", res.Makespan/base.Makespan),
 				fmt.Sprint(res.Faults.TaskFailures),
@@ -129,10 +166,8 @@ func RunResilience(opts Options) ([]*Table, error) {
 		Header: resilienceHeader,
 	}
 	ro := core.RunOptions{StagedFraction: 1, IntermediatesToBB: true}
-	for _, profile := range profileOrder {
-		if err := resilienceRows(t, profile, 2, wf, ro, o); err != nil {
-			return nil, err
-		}
+	if err := resilienceRows(t, profileOrder, 2, wf, ro, o); err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes,
 		"crash MTBF is the fault-free makespan / 2 (rare) or / 8 (frequent); node outages",
@@ -162,10 +197,8 @@ func RunResilienceGenomes(opts Options) ([]*Table, error) {
 		Header: resilienceHeader,
 	}
 	ro := core.RunOptions{PrePlaceInputs: true, StagedFraction: 1, IntermediatesToBB: true}
-	for _, profile := range []string{"cori-private", "summit"} {
-		if err := resilienceRows(t, profile, caseStudyNodes, wf, ro, o); err != nil {
-			return nil, err
-		}
+	if err := resilienceRows(t, []string{"cori-private", "summit"}, caseStudyNodes, wf, ro, o); err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes,
 		"same fault calibration as the SWarp resilience table; the deeper 1000Genomes",

@@ -37,23 +37,32 @@ func RunAblationSizing(opts Options) ([]*Table, error) {
 	if o.Quick {
 		fractionsOfFootprint = []float64{0.10, 0.40, 1.00}
 	}
-	var series []float64
-	prev := 0.0
-	knee := ""
-	for _, cf := range fractionsOfFootprint {
+	// Fan the capacity points out; the gain/knee columns chain row-to-row,
+	// so they are assembled serially from the collected makespans.
+	makespans, err := runPoints(o, fractionsOfFootprint, func(cf float64) (float64, error) {
 		cfg := simPreset("cori-private", caseStudyNodes)
 		cfg.BB.Capacity = st.TotalBytes.Times(cf)
-		sim := core.MustNewSimulator(cfg)
-		ms := 0.0
-		label := "overflow"
-		res, err := sim.Run(wf, core.RunOptions{
+		res, err := core.MustNewSimulator(cfg).Run(wf, core.RunOptions{
 			StagedFraction:     cf, // stage what fits up front
 			IntermediatesToBB:  true,
 			PrePlaceInputs:     true,
 			EvictAfterLastRead: true,
 		})
-		if err == nil {
-			ms = res.Makespan
+		if err != nil {
+			return 0, nil // overflow: the BB cannot hold this staging level
+		}
+		return res.Makespan, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var series []float64
+	prev := 0.0
+	knee := ""
+	for i, cf := range fractionsOfFootprint {
+		ms := makespans[i]
+		label := "overflow"
+		if ms > 0 {
 			label = fsec(ms)
 		}
 		gain := ""
@@ -65,7 +74,7 @@ func RunAblationSizing(opts Options) ([]*Table, error) {
 			}
 		}
 		t.Rows = append(t.Rows, []string{
-			ffrac(cf), cfg.BB.Capacity.String(), label, gain,
+			ffrac(cf), st.TotalBytes.Times(cf).String(), label, gain,
 		})
 		if ms > 0 {
 			series = append(series, ms)

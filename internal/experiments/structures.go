@@ -6,6 +6,7 @@ import (
 
 	"bbwfsim/internal/testbed"
 	"bbwfsim/internal/units"
+	"bbwfsim/internal/workflow"
 	"bbwfsim/internal/workloads"
 )
 
@@ -38,6 +39,13 @@ func RunAblationStructures(opts Options) ([]*Table, error) {
 		{"few-large (1×256MiB)", workloads.FewLarge},
 	}
 	profiles := orderedProfiles(1)
+	type structPoint struct {
+		regime  string
+		pattern string
+		wf      *workflow.Workflow
+		prof    testbed.Profile
+	}
+	var pts []structPoint
 	for _, reg := range regimes {
 		pats, err := workloads.Patterns(workloads.Params{
 			Regime: reg.r,
@@ -53,22 +61,30 @@ func RunAblationStructures(opts Options) ([]*Table, error) {
 		}
 		sort.Strings(names)
 		for _, name := range names {
-			wf := pats[name]
-			row := []string{name, reg.name}
 			for _, prof := range profiles {
-				runner := testbed.NewRunner(prof, o.Seed)
-				pfs, err := runner.Run(wf, testbed.Scenario{IntermediatesToBB: false}, reps)
-				if err != nil {
-					return nil, fmt.Errorf("structures %s/%s pfs: %w", name, prof.Name, err)
-				}
-				bb, err := runner.Run(wf, testbed.Scenario{IntermediatesToBB: true}, reps)
-				if err != nil {
-					return nil, fmt.Errorf("structures %s/%s bb: %w", name, prof.Name, err)
-				}
-				row = append(row, fmt.Sprintf("%.2f", pfs.MeanMakespan()/bb.MeanMakespan()))
+				pts = append(pts, structPoint{reg.name, name, pats[name], prof})
 			}
-			t.Rows = append(t.Rows, row)
 		}
+	}
+	cells, err := runPoints(o, pts, func(p structPoint) (string, error) {
+		tb := testbed.NewRunner(p.prof, o.Seed)
+		pfs, err := tb.Run(p.wf, testbed.Scenario{IntermediatesToBB: false}, reps)
+		if err != nil {
+			return "", fmt.Errorf("structures %s/%s pfs: %w", p.pattern, p.prof.Name, err)
+		}
+		bb, err := tb.Run(p.wf, testbed.Scenario{IntermediatesToBB: true}, reps)
+		if err != nil {
+			return "", fmt.Errorf("structures %s/%s bb: %w", p.pattern, p.prof.Name, err)
+		}
+		return fmt.Sprintf("%.2f", pfs.MeanMakespan()/bb.MeanMakespan()), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < len(pts); i += len(profiles) {
+		row := []string{pts[i].pattern, pts[i].regime}
+		row = append(row, cells[i:i+len(profiles)]...)
+		t.Rows = append(t.Rows, row)
 	}
 	t.Notes = append(t.Notes,
 		"speedup > 1: the BB helps; < 1: it hurts. Expected: the striped mode *hurts* on",

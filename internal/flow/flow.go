@@ -11,8 +11,12 @@
 //
 // Whenever the set of active flows changes, rates are recomputed and the
 // single next-completion event is rescheduled. Between changes every flow
-// progresses linearly, so the simulation cost is O(changes × resources ×
-// flows), independent of transfer sizes.
+// progresses linearly, so the simulation cost is independent of transfer
+// sizes: per change, progressive filling visits only the resources actually
+// crossed by an active flow (idle resources cost nothing) and computes the
+// next completion as a side product — no separate scan of the active set.
+// All scratch is pooled on the Network, so the steady state allocates
+// nothing.
 package flow
 
 import (
@@ -30,9 +34,12 @@ type Resource struct {
 
 	processed float64 // total units pushed through, for accounting/tests
 
-	// scratch state used during recompute; owned by the Network.
+	// scratch state used during recompute; owned by the Network. gen marks
+	// the recompute that last initialized it, so idle resources cost
+	// nothing: a resource crossed by no active flow is never visited.
 	avail float64
 	count int
+	gen   uint64
 }
 
 // Name returns the resource's identifier.
@@ -86,6 +93,14 @@ type Network struct {
 	active    []*Flow
 	settled   float64 // virtual time of the last settle
 	nextEv    *sim.Event
+
+	// Hot-path scratch, reused across recomputes so the steady state
+	// allocates nothing (asserted by TestRecomputeZeroAllocs):
+	gen          uint64      // recompute generation, stamps Resource.gen
+	touched      []*Resource // resources crossed by ≥1 active flow
+	finished     []*Flow     // completion batch, collected per event
+	minDt        float64     // next completion delay, folded into recompute
+	completionFn func()      // bound n.onCompletion, hoisted once
 }
 
 // NewNetwork returns an empty network bound to the engine.
@@ -93,7 +108,9 @@ func NewNetwork(eng *sim.Engine) *Network {
 	if eng == nil {
 		panic("flow: nil engine")
 	}
-	return &Network{eng: eng, settled: eng.Now()}
+	n := &Network{eng: eng, settled: eng.Now(), minDt: math.Inf(1)}
+	n.completionFn = n.onCompletion
+	return n
 }
 
 // Engine returns the engine the network schedules on.
@@ -256,29 +273,50 @@ func (n *Network) settle() {
 }
 
 // recompute assigns max-min fair rates to all active flows by progressive
-// filling: repeatedly find the tightest constraint (a resource's equal share
-// or a flow's cap), freeze the flows it binds, and subtract their usage.
+// filling over the touched-resource set: repeatedly find the tightest
+// constraint (a resource's equal share or a flow's cap), freeze the flows
+// it binds, and subtract their usage.
+//
+// Only resources actually crossed by an active flow participate at all —
+// the generation stamp identifies them in one pass over the active paths,
+// so idle resources cost nothing — and each flow's projected completion
+// delay is folded into minDt the moment its rate freezes, so schedule needs
+// no scan of its own. The inner rounds deliberately iterate n.active with a
+// frozen-flag check rather than maintaining compacted pointer slices: the
+// flag test is branch-cheap, while pointer-slice rebuilding costs a GC
+// write barrier per element per round. Every floating-point operation
+// happens on the same values in the same order as the original
+// full-network recompute, keeping results bit-identical; see DESIGN.md
+// "Campaign parallelism & the flow hot path".
 func (n *Network) recompute() {
+	n.minDt = math.Inf(1)
 	if len(n.active) == 0 {
 		return
 	}
-	for _, r := range n.resources {
-		r.avail = r.capacity
-		r.count = 0
-	}
+	// Stamp the touched-resource set. Scratch is reused across recomputes,
+	// so the steady state allocates nothing.
+	n.gen++
+	touched := n.touched[:0]
 	unfrozen := 0
 	for _, f := range n.active {
 		f.frozen = false
 		f.rate = 0
 		for _, r := range f.path {
+			if r.gen != n.gen {
+				r.gen = n.gen
+				r.avail = r.capacity
+				r.count = 0
+				touched = append(touched, r)
+			}
 			r.count++
 		}
 		unfrozen++
 	}
+	n.touched = touched
 	for unfrozen > 0 {
 		// Tightest constraint this round.
 		m := math.Inf(1)
-		for _, r := range n.resources {
+		for _, r := range touched {
 			if r.count > 0 {
 				if share := r.avail / float64(r.count); share < m {
 					m = share
@@ -316,13 +354,19 @@ func (n *Network) recompute() {
 				f.frozen = true
 				f.rate = math.Min(m, f.rateCap)
 				froze++
+				if f.rate > 0 {
+					if dt := f.remaining / f.rate; dt < n.minDt {
+						n.minDt = dt
+					}
+				}
 			}
 		}
 		if froze == 0 {
 			panic("flow: progressive filling made no progress")
 		}
-		// Subtract frozen usage; rebuild avail/count for the next round.
-		for _, r := range n.resources {
+		// Subtract frozen usage; rebuild avail/count on the touched
+		// resources for the next round.
+		for _, r := range touched {
 			r.avail = r.capacity
 			r.count = 0
 		}
@@ -339,7 +383,7 @@ func (n *Network) recompute() {
 				unfrozen++
 			}
 		}
-		for _, r := range n.resources {
+		for _, r := range touched {
 			if r.avail < 0 {
 				if r.avail < -1e-6*r.capacity {
 					panic(fmt.Sprintf("flow: resource %q over-allocated by %g", r.name, -r.avail))
@@ -350,7 +394,9 @@ func (n *Network) recompute() {
 	}
 }
 
-// schedule (re)arms the single next-completion event.
+// schedule (re)arms the single next-completion event. The delay was already
+// folded into minDt by the recompute that every call site runs first, so
+// this is O(1): no rescan of the active set.
 func (n *Network) schedule() {
 	if n.nextEv != nil {
 		n.eng.Cancel(n.nextEv)
@@ -359,21 +405,14 @@ func (n *Network) schedule() {
 	if len(n.active) == 0 {
 		return
 	}
-	dt := math.Inf(1)
-	for _, f := range n.active {
-		if f.rate > 0 {
-			if t := f.remaining / f.rate; t < dt {
-				dt = t
-			}
-		}
-	}
+	dt := n.minDt
 	if math.IsInf(dt, 1) {
 		panic("flow: active flows but no positive rate")
 	}
 	if dt < 0 {
 		dt = 0
 	}
-	n.nextEv = n.eng.After(dt, n.onCompletion)
+	n.nextEv = n.eng.After(dt, n.completionFn)
 }
 
 func (n *Network) onCompletion() {
@@ -381,12 +420,13 @@ func (n *Network) onCompletion() {
 	n.settle()
 	// Collect finished flows first: completion callbacks may start new flows
 	// and we want a single consistent recompute before any callback runs.
-	var finished []*Flow
+	finished := n.finished[:0]
 	for _, f := range n.active {
 		if f.remaining <= completionTolerance(f.amount) {
 			finished = append(finished, f)
 		}
 	}
+	n.finished = finished
 	for _, f := range finished {
 		n.remove(f)
 	}

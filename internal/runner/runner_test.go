@@ -1,0 +1,171 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestJobsResolution(t *testing.T) {
+	if got := Jobs(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Jobs(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Jobs(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Jobs(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Jobs(7); got != 7 {
+		t.Fatalf("Jobs(7) = %d, want 7", got)
+	}
+}
+
+func TestMapOrderedResults(t *testing.T) {
+	for _, jobs := range []int{1, 2, 8, 64} {
+		got, err := Map(jobs, 100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		if len(got) != 100 {
+			t.Fatalf("jobs=%d: got %d results", jobs, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("jobs=%d: out[%d] = %d, want %d", jobs, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmptyAndNegative(t *testing.T) {
+	got, err := Map(4, 0, func(int) (int, error) { return 0, nil })
+	if err != nil || got != nil {
+		t.Fatalf("Map(_, 0) = %v, %v; want nil, nil", got, err)
+	}
+	if _, err := Map(4, -1, func(int) (int, error) { return 0, nil }); err == nil {
+		t.Fatal("Map(_, -1) accepted a negative point count")
+	}
+}
+
+// TestMapErrorMatchesSerial: the error returned at any -j is the one serial
+// execution would have returned — the smallest erring index.
+func TestMapErrorMatchesSerial(t *testing.T) {
+	errAt := func(bad ...int) func(int) (int, error) {
+		isBad := map[int]bool{}
+		for _, b := range bad {
+			isBad[b] = true
+		}
+		return func(i int) (int, error) {
+			if isBad[i] {
+				return 0, fmt.Errorf("point %d failed", i)
+			}
+			return i, nil
+		}
+	}
+	want := "point 13 failed"
+	for _, jobs := range []int{1, 3, 16} {
+		_, err := Map(jobs, 50, errAt(41, 13, 29))
+		if err == nil || err.Error() != want {
+			t.Fatalf("jobs=%d: err = %v, want %q", jobs, err, want)
+		}
+	}
+}
+
+// TestMapStopsIssuingAfterError: once a call errs, workers stop drawing new
+// indices (in-flight calls still finish).
+func TestMapStopsIssuingAfterError(t *testing.T) {
+	var calls atomic.Int64
+	sentinel := errors.New("boom")
+	_, err := Map(2, 10_000, func(i int) (int, error) {
+		calls.Add(1)
+		if i == 0 {
+			return 0, sentinel
+		}
+		return i, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want %v", err, sentinel)
+	}
+	if n := calls.Load(); n >= 10_000 {
+		t.Fatalf("all %d points ran despite an error at point 0", n)
+	}
+}
+
+func TestMapPanicPropagates(t *testing.T) {
+	for _, jobs := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("jobs=%d: panic did not propagate", jobs)
+				}
+				if s, ok := r.(string); !ok || s != "kaboom" {
+					t.Fatalf("jobs=%d: recovered %v, want \"kaboom\"", jobs, r)
+				}
+			}()
+			_, _ = Map(jobs, 8, func(i int) (int, error) {
+				if i == 5 {
+					panic("kaboom")
+				}
+				return i, nil
+			})
+		}()
+	}
+}
+
+// TestMapUsesWorkers: with jobs=k and k points that each block until all k
+// have started, completion proves k calls genuinely run concurrently.
+func TestMapUsesWorkers(t *testing.T) {
+	const k = 4
+	var started atomic.Int64
+	_, err := Map(k, k, func(i int) (int, error) {
+		started.Add(1)
+		for started.Load() < k {
+			runtime.Gosched()
+		}
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDo(t *testing.T) {
+	var sum atomic.Int64
+	if err := Do(4, 10, func(i int) error { sum.Add(int64(i)); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 45 {
+		t.Fatalf("sum = %d, want 45", sum.Load())
+	}
+	sentinel := errors.New("do-fail")
+	if err := Do(4, 10, func(i int) error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("Do err = %v, want %v", err, sentinel)
+	}
+}
+
+// TestMapDeterministicAtAnyJobs is the package's core promise stated as a
+// property: identical results for jobs=1 and jobs=GOMAXPROCS on a
+// compute-heavy point function.
+func TestMapDeterministicAtAnyJobs(t *testing.T) {
+	point := func(i int) (float64, error) {
+		v := float64(i + 1)
+		for k := 0; k < 1000; k++ {
+			v = v*1.0000001 + float64(k%7)
+		}
+		return v, nil
+	}
+	serial, err := Map(1, 64, point)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Map(0, 64, point)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("out[%d]: serial %v != parallel %v", i, serial[i], parallel[i])
+		}
+	}
+}
