@@ -19,19 +19,21 @@ import (
 	"time"
 
 	"bbwfsim/internal/experiments"
+	"bbwfsim/internal/metrics"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "experiment ID (see -list) or \"all\"")
-		list   = flag.Bool("list", false, "list experiment IDs and exit")
-		reps   = flag.Int("reps", 0, "testbed repetitions per configuration (default 15, paper's protocol)")
-		seed   = flag.Int64("seed", 1, "base seed for testbed noise")
-		quick  = flag.Bool("quick", false, "reduced sweeps and repetitions")
-		out    = flag.String("o", "", "write output to file instead of stdout")
-		format = flag.String("format", "text", "output format: text or csv")
-		wall   = flag.Bool("walltime", false, "add wall-clock columns to the scalability experiment (output no longer bit-reproducible)")
-		jobs   = flag.Int("j", runtime.NumCPU(), "worker goroutines for independent simulation runs; output is bit-identical at any value (-j 1 = serial)")
+		exp     = flag.String("exp", "", "experiment ID (see -list) or \"all\"")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		reps    = flag.Int("reps", 0, "testbed repetitions per configuration (default 15, paper's protocol)")
+		seed    = flag.Int64("seed", 1, "base seed for testbed noise")
+		quick   = flag.Bool("quick", false, "reduced sweeps and repetitions")
+		out     = flag.String("o", "", "write output to file instead of stdout")
+		format  = flag.String("format", "text", "output format: text or csv")
+		wall    = flag.Bool("walltime", false, "add wall-clock columns to the scalability experiment (output no longer bit-reproducible)")
+		jobs    = flag.Int("j", runtime.NumCPU(), "worker goroutines for independent simulation runs; output is bit-identical at any value (-j 1 = serial)")
+		metPath = flag.String("metrics", "", "write the merged observability snapshot of the instrumented experiments to this JSON file (bit-identical at any -j)")
 	)
 	flag.Parse()
 
@@ -74,6 +76,13 @@ func main() {
 		os.Exit(2)
 	}
 	opts := experiments.Options{Reps: *reps, Seed: *seed, Quick: *quick, Jobs: *jobs}
+	var snaps []*metrics.Snapshot
+	if *metPath != "" {
+		// Each instrumented experiment hands over one merged snapshot; the
+		// sink runs on the main goroutine (experiments call it after their
+		// sweeps complete), and collection order is experiment order.
+		opts.Metrics = func(s *metrics.Snapshot) { snaps = append(snaps, s) }
+	}
 	if *wall {
 		// Experiments cannot read the wall clock themselves (bbvet's
 		// no-walltime rule): the CLI injects it, keeping the default
@@ -104,6 +113,23 @@ func main() {
 				fmt.Fprintf(os.Stderr, "bbexp: %v\n", err)
 				os.Exit(1)
 			}
+		}
+	}
+
+	if *metPath != "" {
+		merged := metrics.Merge(snaps)
+		if merged == nil {
+			fmt.Fprintf(os.Stderr, "bbexp: -metrics: none of the selected experiments are instrumented (fig10, fig11, fig13, fig14, resilience, resilience-genomes are)\n")
+			os.Exit(1)
+		}
+		data, err := merged.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bbexp: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*metPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "bbexp: %v\n", err)
+			os.Exit(1)
 		}
 	}
 }

@@ -39,6 +39,8 @@ func main() {
 		private   = flag.Bool("enforce-private", false, "enforce the private-mode BB visibility rule")
 		nodePol   = flag.String("node-policy", "first-fit", "node selection: first-fit, least-loaded, round-robin")
 		orderPol  = flag.String("order-policy", "fifo", "ready-queue order: fifo, largest-work, critical-path")
+		metricsJS = flag.String("metrics", "", "write the run's observability snapshot to this JSON file")
+		promPath  = flag.String("prom", "", "write the snapshot in Prometheus text format to this file (\"-\" = stdout)")
 	)
 	flag.Parse()
 
@@ -111,6 +113,38 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("trace written to %s\n", *tracePath)
+	}
+
+	if *metricsJS != "" {
+		data, err := res.Metrics.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*metricsJS, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metrics written to %s\n", *metricsJS)
+	}
+	if *promPath != "" {
+		if *promPath == "-" {
+			fmt.Println()
+			if err := res.Metrics.WriteProm(os.Stdout); err != nil {
+				fatal(err)
+			}
+		} else {
+			f, err := os.Create(*promPath)
+			if err != nil {
+				fatal(err)
+			}
+			if err := res.Metrics.WriteProm(f); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("metrics written to %s\n", *promPath)
+		}
 	}
 	_ = units.Bytes(0)
 }

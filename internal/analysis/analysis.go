@@ -110,6 +110,7 @@ func Rules() []Rule {
 		runnerIsolationRule(),
 		floatCompareRule(),
 		uncheckedErrorRule(),
+		metricsVirtualTimeRule(),
 	}
 }
 
@@ -141,6 +142,7 @@ var simPackages = map[string]bool{
 	"sim": true, "flow": true, "exec": true, "core": true,
 	"storage": true, "testbed": true, "calib": true,
 	"placement": true, "optimize": true, "faults": true,
+	"metrics": true, "invariants": true,
 }
 
 // kernelPackages is the single-threaded discrete-event core whose
@@ -162,6 +164,7 @@ var deterministicOutputPackages = map[string]bool{
 // dropped.
 var emitterPackages = map[string]bool{
 	"trace": true, "experiments": true, "wfcommons": true,
+	"metrics": true,
 }
 
 func isSimPackage(pkgPath string) bool {

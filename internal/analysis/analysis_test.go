@@ -92,6 +92,7 @@ func TestRuleNamesStable(t *testing.T) {
 	want := []string{
 		"no-walltime", "seeded-rand-only", "ordered-map-iteration",
 		"no-goroutines-in-kernel", "runner-isolation", "float-compare", "unchecked-error",
+		"metrics-virtual-time",
 	}
 	got := RuleNames()
 	if len(got) != len(want) {

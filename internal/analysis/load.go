@@ -239,13 +239,57 @@ func (m *moduleImporter) ImportFrom(path, dir string, mode types.ImportMode) (*t
 	}
 	if m.checked == nil && strings.HasPrefix(path, "bbwfsim/") {
 		// Fixture mode (LoadDir): module-internal imports cannot resolve
-		// from testdata, and import-ban rules only inspect the path, so a
-		// synthesized empty package keeps the fixture type-checkable.
+		// from testdata. Import-ban rules only inspect the path, so most
+		// stand-ins can be empty — but the metrics-virtual-time rule resolves
+		// callees through the type-checker, so the metrics stand-in carries
+		// the real package's emission surface.
+		if path == "bbwfsim/internal/metrics" {
+			return synthMetricsPackage(path), nil
+		}
 		pkg := types.NewPackage(path, filepath.Base(path))
 		pkg.MarkComplete()
 		return pkg, nil
 	}
 	return m.std.ImportFrom(path, dir, mode)
+}
+
+// synthMetricsPackage builds a typed stand-in for the real metrics package,
+// mirroring its emission surface (Collector.Add/GaugeMax/Observe, Key, New)
+// so fixtures for the metrics-virtual-time rule type-check and their call
+// sites resolve to a package whose base name is "metrics".
+func synthMetricsPackage(path string) *types.Package {
+	pkg := types.NewPackage(path, "metrics")
+	scope := pkg.Scope()
+	keyName := types.NewTypeName(token.NoPos, pkg, "Key", nil)
+	key := types.NewNamed(keyName, types.NewStruct(nil, nil), nil)
+	scope.Insert(keyName)
+	colName := types.NewTypeName(token.NoPos, pkg, "Collector", nil)
+	col := types.NewNamed(colName, types.NewStruct(nil, nil), nil)
+	scope.Insert(colName)
+	recv := types.NewPointer(col)
+	str := types.Typ[types.String]
+	f64 := types.Typ[types.Float64]
+	for _, name := range []string{"Add", "GaugeMax", "Observe"} {
+		sig := types.NewSignatureType(
+			types.NewVar(token.NoPos, pkg, "c", recv), nil, nil,
+			types.NewTuple(
+				types.NewVar(token.NoPos, pkg, "family", str),
+				types.NewVar(token.NoPos, pkg, "k", key),
+				types.NewVar(token.NoPos, pkg, "v", f64),
+			),
+			nil, false)
+		col.AddMethod(types.NewFunc(token.NoPos, pkg, name, sig))
+	}
+	newSig := types.NewSignatureType(nil, nil, nil,
+		types.NewTuple(
+			types.NewVar(token.NoPos, pkg, "platform", str),
+			types.NewVar(token.NoPos, pkg, "workflow", str),
+		),
+		types.NewTuple(types.NewVar(token.NoPos, pkg, "", recv)),
+		false)
+	scope.Insert(types.NewFunc(token.NoPos, pkg, "New", newSig))
+	pkg.MarkComplete()
+	return pkg
 }
 
 // check type-checks one parsed package, populating pkg.Pkg and pkg.Info.

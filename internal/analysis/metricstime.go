@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+)
+
+// metricsVirtualTimeRule guards the observability layer's core contract:
+// metric values are functions of virtual time alone. The layer itself
+// cannot enforce that — a caller could pass time.Since(start).Seconds()
+// into a perfectly deterministic collector — so this rule inspects every
+// *call site* of the metrics package, anywhere in the module, and flags
+// arguments whose expression tree reads the wall clock. Unlike no-walltime
+// it is not scoped to the deterministic packages: a wall-clock-fed metric
+// is wrong wherever it is emitted from, because it poisons snapshot
+// byte-identity for every consumer downstream (CI smokes, campaign merges,
+// the invariant harness).
+func metricsVirtualTimeRule() Rule {
+	return Rule{
+		Name: "metrics-virtual-time",
+		Doc: "forbid wall-clock-derived values at metrics emission sites anywhere in the module; " +
+			"snapshot values must derive from virtual time alone or byte-identity across runs breaks",
+		Run: func(p *Pass) {
+			p.Inspect(func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if !metricsCallee(p, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					ast.Inspect(arg, func(m ast.Node) bool {
+						sel, ok := m.(*ast.SelectorExpr)
+						if !ok {
+							return true
+						}
+						id, ok := sel.X.(*ast.Ident)
+						if !ok || p.PkgUse(id) != "time" || !walltimeFuncs[sel.Sel.Name] {
+							return true
+						}
+						p.Reportf(sel.Pos(), "metrics-virtual-time",
+							"metrics emission consumes time.%s; metric values must derive from "+
+								"virtual time (sim.Engine.Now) so snapshots stay bit-identical across runs",
+							sel.Sel.Name)
+						return true
+					})
+				}
+				return true
+			})
+		},
+	}
+}
+
+// metricsCallee reports whether the call targets the metrics package — a
+// method on one of its types (Collector emission) or a package-level
+// function (New, Merge).
+func metricsCallee(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	var pkg *types.Package
+	if s := p.Info.Selections[sel]; s != nil {
+		pkg = s.Obj().Pkg()
+	} else if obj := p.Info.Uses[sel.Sel]; obj != nil {
+		pkg = obj.Pkg()
+	}
+	return pkg != nil && path.Base(pkg.Path()) == "metrics"
+}

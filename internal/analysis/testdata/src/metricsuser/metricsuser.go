@@ -1,0 +1,24 @@
+// Package metricsuser exercises the metrics-virtual-time rule: it is NOT a
+// simulation package (no-walltime does not apply here), yet feeding a
+// wall-clock-derived value into the metrics layer must still be flagged,
+// because it breaks snapshot byte-identity for every downstream consumer.
+package metricsuser
+
+import (
+	"time"
+
+	"bbwfsim/internal/metrics"
+)
+
+func emit(col *metrics.Collector, start time.Time, virtualSeconds float64) {
+	col.Add("sim_events_total", metrics.Key{}, float64(time.Now().Unix()))        // want `\[metrics-virtual-time\] metrics emission consumes time\.Now`
+	col.Observe("storage_op_seconds", metrics.Key{}, time.Since(start).Seconds()) // want `\[metrics-virtual-time\] metrics emission consumes time\.Since`
+	col.GaugeMax("makespan_seconds", metrics.Key{}, 12.5)                         // ok: constant value
+	col.Add("task_phase_seconds_total", metrics.Key{}, virtualSeconds)            // ok: virtual time
+	_ = metrics.New("cori", "swarp")                                              // ok: labels, not values
+	sampleOutsideMetrics(time.Now())                                              // ok: not a metrics call site
+}
+
+// sampleOutsideMetrics shows the rule is scoped to metrics call sites: wall
+// time elsewhere in a non-simulation package is this package's own business.
+func sampleOutsideMetrics(t time.Time) time.Time { return t }

@@ -1,0 +1,79 @@
+package calib
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSingleCoreTableAlphaInvariant: on single-core observations the
+// Amdahl denominator is exactly 1 for any α, so Eq. 3 and Eq. 4 coincide:
+// T_c(1) = (1 − λ_io) · T(1).
+func TestSingleCoreTableAlphaInvariant(t *testing.T) {
+	tests := []struct {
+		time, lambda, alpha, want float64
+	}{
+		{100, 0, 0, 100},
+		{100, 0.25, 0, 75},
+		{100, 0.25, 0.5, 75},
+		{100, 0.25, 1, 75},
+		{60, 0.999, 0.3, 0.06},
+		{0, 0.5, 0.5, 0}, // zero observed time is valid and calibrates to zero work
+	}
+	for _, tc := range tests {
+		o := Observation{TaskName: "t", Cores: 1, Time: tc.time, LambdaIO: tc.lambda, Alpha: tc.alpha}
+		got, err := o.SequentialComputeTime()
+		if err != nil {
+			t.Errorf("T=%g λ=%g α=%g: %v", tc.time, tc.lambda, tc.alpha, err)
+			continue
+		}
+		if math.Abs(got-tc.want) > 1e-12*(1+tc.want) {
+			t.Errorf("T=%g λ=%g α=%g: sequential time %g, want %g", tc.time, tc.lambda, tc.alpha, got, tc.want)
+		}
+	}
+}
+
+// TestMalformedObservations exercises every Validate rejection on the
+// boundary values.
+func TestMalformedObservations(t *testing.T) {
+	bad := []Observation{
+		{TaskName: "cores0", Cores: 0, Time: 1},
+		{TaskName: "coresneg", Cores: -4, Time: 1},
+		{TaskName: "timeneg", Cores: 1, Time: -1},
+		{TaskName: "lambda1", Cores: 1, Time: 1, LambdaIO: 1}, // λ_io = 1 would divide by zero in PredictTime
+		{TaskName: "lambdaneg", Cores: 1, Time: 1, LambdaIO: -0.1},
+		{TaskName: "alphaneg", Cores: 1, Time: 1, Alpha: -0.1},
+		{TaskName: "alphabig", Cores: 1, Time: 1, Alpha: 1.1},
+	}
+	for _, o := range bad {
+		if _, err := o.SequentialComputeTime(); err == nil {
+			t.Errorf("%s: malformed observation calibrated without error", o.TaskName)
+		}
+	}
+	// The λ_io ∈ [0, 1) boundary itself is valid.
+	ok := Observation{TaskName: "edge", Cores: 1, Time: 1, LambdaIO: 0}
+	if _, err := ok.SequentialComputeTime(); err != nil {
+		t.Errorf("λ_io = 0 rejected: %v", err)
+	}
+}
+
+// TestLambdaFromRecordsEdges pins the estimator's clamping and skipping
+// behavior: non-positive exec times are dropped entirely, negative I/O
+// clamps to 0, and I/O exceeding the span clamps just below 1 so the
+// estimate stays a valid calibration input.
+func TestLambdaFromRecordsEdges(t *testing.T) {
+	out := LambdaFromRecords([]TaskPhases{
+		{Name: "skipped", ExecTime: 0, IOTime: 5},
+		{Name: "skipped", ExecTime: -2, IOTime: 1},
+		{Name: "clamplow", ExecTime: 10, IOTime: -3},
+		{Name: "clamphigh", ExecTime: 1, IOTime: 50},
+	})
+	if _, ok := out["skipped"]; ok {
+		t.Error("records with non-positive exec time contributed an estimate")
+	}
+	if got := out["clamplow"]; got != 0 {
+		t.Errorf("negative I/O time: λ estimate %g, want 0", got)
+	}
+	if got := out["clamphigh"]; got < 0.999 || got >= 1 {
+		t.Errorf("I/O > span: λ estimate %g, want clamped into [0.999, 1)", got)
+	}
+}

@@ -21,6 +21,7 @@ import (
 
 	"bbwfsim/internal/calib"
 	"bbwfsim/internal/exec"
+	"bbwfsim/internal/metrics"
 	"bbwfsim/internal/placement"
 	"bbwfsim/internal/platform"
 	"bbwfsim/internal/sim"
@@ -147,6 +148,11 @@ type Result struct {
 	// Faults counts the run's fault and recovery events; all zero on
 	// fault-free runs.
 	Faults FaultStats
+	// Metrics is the run's full observability snapshot: bytes per tier,
+	// virtual time per task phase, occupancy high-water marks, solver and
+	// kernel work counters, fault tallies. Deterministically ordered, so
+	// identical runs marshal to identical bytes.
+	Metrics *metrics.Snapshot
 }
 
 // MeanTaskTime returns the mean execution time of a task category, or an
@@ -163,6 +169,8 @@ func (s *Simulator) Run(wf *workflow.Workflow, opts RunOptions) (*Result, error)
 		return nil, err
 	}
 	sys := storage.NewSystem(plat, nil) // identity op model: the lightweight simulator
+	col := metrics.New(s.cfg.Name, wf.Name())
+	sys.Manager().SetMetrics(col)
 	pol := opts.Placement
 	if pol == nil {
 		set, err := placement.NewFraction(wf, opts.StagedFraction, opts.IntermediatesToBB)
@@ -183,10 +191,13 @@ func (s *Simulator) Run(wf *workflow.Workflow, opts RunOptions) (*Result, error)
 		Faults:                   opts.Faults,
 		Retry:                    opts.Retry,
 		BBFallback:               opts.BBFallback,
+		Metrics:                  col,
 	})
 	if err != nil {
 		return nil, err
 	}
+	fs := faultStats(tr)
+	finishSnapshot(col, eng, plat, sys, tr, fs)
 	return &Result{
 		Makespan:  tr.Makespan(),
 		Trace:     tr,
@@ -194,8 +205,34 @@ func (s *Simulator) Run(wf *workflow.Workflow, opts RunOptions) (*Result, error)
 		BB:        sys.BBStats(),
 		PFS:       sys.Manager().Stats(sys.PFS()),
 		Events:    eng.EventsFired(),
-		Faults:    faultStats(tr),
+		Faults:    fs,
+		Metrics:   col.Snapshot(),
 	}, nil
+}
+
+// finishSnapshot folds the end-of-run observations into the collector: the
+// kernel and solver work counters, per-service occupancy high-water marks,
+// the fault tallies, and the makespan. The fault families are emitted even
+// when zero, so fault-free and faulty runs share one snapshot schema and
+// diff cleanly.
+func finishSnapshot(col *metrics.Collector, eng *sim.Engine, plat *platform.Platform,
+	sys *storage.System, tr *trace.Trace, fs FaultStats) {
+	col.Add(metrics.SimEventsTotal, metrics.Key{}, float64(eng.EventsFired()))
+	col.GaugeMax(metrics.SimQueuePeakEvents, metrics.Key{}, float64(eng.MaxPending()))
+	nst := plat.Network().Stats()
+	col.Add(metrics.FlowRecomputesTotal, metrics.Key{}, float64(nst.Recomputes))
+	col.Add(metrics.FlowFreezeRoundsTotal, metrics.Key{}, float64(nst.FreezeRounds))
+	col.Add(metrics.FlowFlowsTotal, metrics.Key{}, float64(nst.FlowsStarted))
+	for _, svc := range sys.Services() {
+		col.GaugeMax(metrics.StoragePeakBytes, metrics.Key{Service: svc.Name()}, float64(svc.Peak()))
+	}
+	col.Add(metrics.FaultTaskFailuresTotal, metrics.Key{}, float64(fs.TaskFailures))
+	col.Add(metrics.FaultRetriesTotal, metrics.Key{}, float64(fs.Retries))
+	col.Add(metrics.FaultNodeFailuresTotal, metrics.Key{}, float64(fs.NodeFailures))
+	col.Add(metrics.FaultBBRejectionsTotal, metrics.Key{}, float64(fs.BBRejections))
+	col.Add(metrics.FaultFallbacksTotal, metrics.Key{}, float64(fs.Fallbacks))
+	col.Add(metrics.FaultDegradeWindowsTotal, metrics.Key{}, float64(fs.DegradeWindows))
+	col.GaugeMax(metrics.MakespanSeconds, metrics.Key{}, tr.Makespan())
 }
 
 // SweepFractions runs wf once per staged fraction and returns the

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"bbwfsim/internal/metrics"
 	"bbwfsim/internal/platform"
 	"bbwfsim/internal/storage"
 	"bbwfsim/internal/trace"
@@ -109,6 +110,13 @@ type Config struct {
 	// workflow slows down rather than dying). Rejections injected by the
 	// fault model always fall back, with or without this flag.
 	BBFallback bool
+	// Metrics receives the run's phase profile: per-category virtual time
+	// in each phase, committed once per task completion from the same
+	// timestamps the trace records (so trace and metrics agree exactly),
+	// plus wait times, completion counts, and fault-aborted partial time.
+	// Nil — the default — records nothing; metrics never influence
+	// simulated behavior either way.
+	Metrics *metrics.Collector
 }
 
 // Background is a load generator that shares the platform with the
@@ -667,6 +675,7 @@ func (e *engine) finishTask(a *attempt) {
 	rec := e.tr.Task(t.ID())
 	rec.FinishedAt = e.now()
 	e.tr.Record(e.now(), trace.TaskEnd, t.ID(), "")
+	e.commitPhases(t, rec)
 	a.node.ReleaseResources(a.cores, t.Memory())
 	e.running--
 	delete(e.active, t)
@@ -702,6 +711,37 @@ func (e *engine) finishTask(a *attempt) {
 		return
 	}
 	e.schedule()
+}
+
+// commitPhases records the completed task's phase profile, once per
+// completion. The durations are differences of the exact timestamps the
+// trace's task record carries for the final attempt, and they are added to
+// the per-category counters in completion order — so a reconstruction of
+// the same differences from the event trace (internal/invariants) matches
+// the emitted snapshot bitwise, including under retries and fallbacks.
+func (e *engine) commitPhases(t *workflow.Task, rec *trace.TaskRecord) {
+	col := e.cfg.Metrics
+	if col == nil {
+		return
+	}
+	name := t.Name()
+	switch t.Kind() {
+	case workflow.KindStageIn:
+		col.Add(metrics.TaskPhaseSecondsTotal,
+			metrics.Key{Task: name, Phase: metrics.PhaseStageIn}, rec.FinishedAt-rec.StartedAt)
+	case workflow.KindStageOut:
+		col.Add(metrics.TaskPhaseSecondsTotal,
+			metrics.Key{Task: name, Phase: metrics.PhaseStageOut}, rec.FinishedAt-rec.StartedAt)
+	default:
+		col.Add(metrics.TaskPhaseSecondsTotal,
+			metrics.Key{Task: name, Phase: metrics.PhaseRead}, rec.ReadDoneAt-rec.StartedAt)
+		col.Add(metrics.TaskPhaseSecondsTotal,
+			metrics.Key{Task: name, Phase: metrics.PhaseCompute}, rec.ComputeDone-rec.ReadDoneAt)
+		col.Add(metrics.TaskPhaseSecondsTotal,
+			metrics.Key{Task: name, Phase: metrics.PhaseWrite}, rec.FinishedAt-rec.ComputeDone)
+	}
+	col.Add(metrics.TaskWaitSecondsTotal, metrics.Key{Task: name}, rec.StartedAt-rec.ReadyAt)
+	col.Add(metrics.TasksCompletedTotal, metrics.Key{Task: name}, 1)
 }
 
 // evictScratch frees the burst-buffer replicas of a file whose last

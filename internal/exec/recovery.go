@@ -22,6 +22,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"bbwfsim/internal/metrics"
 	"bbwfsim/internal/platform"
 	"bbwfsim/internal/sim"
 	"bbwfsim/internal/storage"
@@ -279,9 +280,14 @@ func (e *engine) RepairNode(n *platform.Node) {
 }
 
 // abortAttempt tears one attempt down: no more callbacks, no leaked
-// resources, no half-written outputs.
+// resources, no half-written outputs. The attempt's partial virtual time
+// is charged to the aborted-seconds counter (every abort is followed by a
+// TaskFail record at this same instant, which is how the trace-side
+// reconstruction rebuilds the identical value).
 func (e *engine) abortAttempt(a *attempt) {
 	a.aborted = true
+	e.cfg.Metrics.Add(metrics.TaskAbortedSecondsTotal,
+		metrics.Key{Task: a.task.Name()}, e.now()-e.tr.Task(a.task.ID()).StartedAt)
 	if a.computeEv != nil {
 		e.sys.Platform().Engine().Cancel(a.computeEv)
 		a.computeEv = nil

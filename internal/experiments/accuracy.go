@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"bbwfsim/internal/core"
+	"bbwfsim/internal/metrics"
 	"bbwfsim/internal/runner"
 	"bbwfsim/internal/stats"
 	"bbwfsim/internal/testbed"
@@ -17,9 +18,21 @@ import (
 // private simulator. Calibrated workflows are shared read-only by the
 // second stage.
 
-// accuracyPoint is one (real run, simulated run) comparison cell.
+// accuracyPoint is one (real run, simulated run) comparison cell. snap is
+// the simulated run's observability snapshot; the testbed side has none.
 type accuracyPoint struct {
 	realMean, realStd, sim float64
+	snap                   *metrics.Snapshot
+}
+
+// accuracySnaps extracts the simulator snapshots of a point grid in point
+// order, for the index-ordered merge emitMetrics performs.
+func accuracySnaps(points []accuracyPoint) []*metrics.Snapshot {
+	snaps := make([]*metrics.Snapshot, len(points))
+	for i, p := range points {
+		snaps[i] = p.snap
+	}
+	return snaps
 }
 
 // RunFig10 reproduces Figure 10: measured ("real", i.e. testbed) versus
@@ -58,11 +71,13 @@ func RunFig10(opts Options) ([]*Table, error) {
 			realMean: res.MeanMakespan(),
 			realStd:  stats.Std(res.Makespans),
 			sim:      simRes.Makespan,
+			snap:     simRes.Metrics,
 		}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	emitMetrics(o, accuracySnaps(points))
 	var tables []*Table
 	for pi, prof := range profiles {
 		t := &Table{
@@ -142,11 +157,13 @@ func RunFig11(opts Options) ([]*Table, error) {
 			realMean: res.MeanMakespan(),
 			realStd:  stats.Std(res.Makespans),
 			sim:      simRes.Makespan,
+			snap:     simRes.Metrics,
 		}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	emitMetrics(o, accuracySnaps(points))
 	var tables []*Table
 	for pi, prof := range profiles {
 		t := &Table{

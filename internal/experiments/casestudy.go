@@ -5,6 +5,7 @@ import (
 
 	"bbwfsim/internal/core"
 	"bbwfsim/internal/genomes"
+	"bbwfsim/internal/metrics"
 	"bbwfsim/internal/runner"
 	"bbwfsim/internal/stats"
 	"bbwfsim/internal/testbed"
@@ -34,24 +35,40 @@ func caseStudyWorkflow(o Options) *workflow.Workflow {
 // runFig13Series simulates the 1000Genomes sweep on both platforms and
 // returns (fractions, cori makespans, summit makespans). The platform ×
 // fraction grid fans across Options.Jobs workers; every point builds a
-// private simulator over the shared read-only workflow.
+// private simulator over the shared read-only workflow. Makespans and
+// observability snapshots are accumulated by runner.MapReduce's
+// index-ordered fold, so the emitted aggregate snapshot is bit-identical
+// at any Jobs value.
 func runFig13Series(o Options) ([]float64, []float64, []float64, error) {
 	wf := caseStudyWorkflow(o)
 	fracs := genomesFractions(o)
 	platforms := []string{"cori-private", "summit"}
-	ms, err := runner.Map(o.Jobs, len(platforms)*len(fracs), func(i int) (float64, error) {
+	type point struct {
+		ms   float64
+		snap *metrics.Snapshot
+	}
+	type series struct {
+		ms    []float64
+		snaps []*metrics.Snapshot
+	}
+	acc, err := runner.MapReduce(o.Jobs, len(platforms)*len(fracs), func(i int) (point, error) {
 		name, q := platforms[i/len(fracs)], fracs[i%len(fracs)]
 		sim := core.MustNewSimulator(simPreset(name, caseStudyNodes))
 		res, err := sim.Run(wf, core.RunOptions{PrePlaceInputs: true, StagedFraction: q})
 		if err != nil {
-			return 0, fmt.Errorf("fig13 sweep on %s at fraction %g: %w", name, q, err)
+			return point{}, fmt.Errorf("fig13 sweep on %s at fraction %g: %w", name, q, err)
 		}
-		return res.Makespan, nil
+		return point{ms: res.Makespan, snap: res.Metrics}, nil
+	}, series{}, func(s series, p point) series {
+		s.ms = append(s.ms, p.ms)
+		s.snaps = append(s.snaps, p.snap)
+		return s
 	})
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	return fracs, ms[:len(fracs)], ms[len(fracs):], nil
+	emitMetrics(o, acc.snaps)
+	return fracs, acc.ms[:len(fracs)], acc.ms[len(fracs):], nil
 }
 
 // RunFig13 reproduces Figure 13: simulated makespan of the 903-task

@@ -17,6 +17,7 @@ import (
 
 	"bbwfsim/internal/calib"
 	"bbwfsim/internal/core"
+	"bbwfsim/internal/metrics"
 	"bbwfsim/internal/platform"
 	"bbwfsim/internal/runner"
 	"bbwfsim/internal/swarp"
@@ -48,6 +49,29 @@ type Options struct {
 	// simulation state, so output is bit-identical at any Jobs value —
 	// parallelism only changes wall-clock time.
 	Jobs int
+	// Metrics, when non-nil, receives each instrumented experiment's
+	// aggregated observability snapshot: the per-run metrics.Snapshot of
+	// every lightweight-simulator run the experiment performs, merged in
+	// submission (index) order so the aggregate is bit-identical at any
+	// Jobs value. Testbed runs carry no snapshot — the synthetic testbed
+	// plays the role of the measured machine, not of an instrumented
+	// simulation. Nil by default: experiments skip aggregation entirely
+	// when nobody is observing.
+	Metrics func(*metrics.Snapshot)
+}
+
+// emitMetrics merges per-run snapshots in index order and hands the result
+// to the Options sink. The slice order must be a deterministic function of
+// the experiment's sweep definition (never of worker completion order);
+// every caller passes runner.Map/MapReduce output or a fixed concatenation
+// of such outputs.
+func emitMetrics(o Options, snaps []*metrics.Snapshot) {
+	if o.Metrics == nil {
+		return
+	}
+	if m := metrics.Merge(snaps); m != nil {
+		o.Metrics(m)
+	}
 }
 
 // withDefaults validates the options and fills the defaults in. Invalid

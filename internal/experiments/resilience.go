@@ -7,6 +7,7 @@ import (
 	"bbwfsim/internal/exec"
 	"bbwfsim/internal/faults"
 	"bbwfsim/internal/genomes"
+	"bbwfsim/internal/metrics"
 	"bbwfsim/internal/swarp"
 	"bbwfsim/internal/workflow"
 )
@@ -119,6 +120,18 @@ func resilienceRows(t *Table, profiles []string, nodes int, wf *workflow.Workflo
 	})
 	if err != nil {
 		return err
+	}
+	if o.Metrics != nil {
+		// Aggregate order is fixed by the sweep definition: baselines in
+		// profile order, then fault cases in case-table order.
+		snaps := make([]*metrics.Snapshot, 0, len(baselines)+len(results))
+		for _, b := range baselines {
+			snaps = append(snaps, b.Metrics)
+		}
+		for _, r := range results {
+			snaps = append(snaps, r.Metrics)
+		}
+		emitMetrics(o, snaps)
 	}
 	casesPerProfile := len(cases) / len(profiles)
 	for pi, profile := range profiles {

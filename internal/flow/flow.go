@@ -101,6 +101,21 @@ type Network struct {
 	finished     []*Flow     // completion batch, collected per event
 	minDt        float64     // next completion delay, folded into recompute
 	completionFn func()      // bound n.onCompletion, hoisted once
+
+	stats Stats // cumulative solver counters, read post-run
+}
+
+// Stats are the solver's cumulative work counters: how many rate
+// recomputes ran, how many progressive-filling rounds they took in total,
+// and how many flows were started. They are plain integers bumped on the
+// hot path — no collector indirection, no allocation — so instrumentation
+// keeps the zero-steady-state-allocation contract (TestRecomputeZeroAllocs)
+// intact; the observability layer (internal/metrics) reads them once per
+// run through Stats.
+type Stats struct {
+	Recomputes   uint64
+	FreezeRounds uint64
+	FlowsStarted uint64
 }
 
 // NewNetwork returns an empty network bound to the engine.
@@ -128,6 +143,9 @@ func (n *Network) NewResource(name string, capacity float64) *Resource {
 
 // ActiveFlows returns the number of currently active flows.
 func (n *Network) ActiveFlows() int { return len(n.active) }
+
+// Stats returns the cumulative solver counters.
+func (n *Network) Stats() Stats { return n.stats }
 
 // SetCapacity changes r's capacity to the given value (> 0) and recomputes
 // the rates of every active flow. In-flight transfers are settled at their
@@ -176,6 +194,7 @@ func (n *Network) StartFlow(amount float64, path []*Resource, opts Options, onDo
 			dedup = append(dedup, r)
 		}
 	}
+	n.stats.FlowsStarted++
 	f := &Flow{
 		net:       n,
 		path:      dedup,
@@ -289,6 +308,7 @@ func (n *Network) settle() {
 // full-network recompute, keeping results bit-identical; see DESIGN.md
 // "Campaign parallelism & the flow hot path".
 func (n *Network) recompute() {
+	n.stats.Recomputes++
 	n.minDt = math.Inf(1)
 	if len(n.active) == 0 {
 		return
@@ -314,6 +334,7 @@ func (n *Network) recompute() {
 	}
 	n.touched = touched
 	for unfrozen > 0 {
+		n.stats.FreezeRounds++
 		// Tightest constraint this round.
 		m := math.Inf(1)
 		for _, r := range touched {

@@ -1,0 +1,139 @@
+package invariants
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bbwfsim/internal/core"
+	"bbwfsim/internal/exec"
+	"bbwfsim/internal/faults"
+	"bbwfsim/internal/platform"
+	"bbwfsim/internal/units"
+	"bbwfsim/internal/workflow"
+	"bbwfsim/internal/workloads"
+)
+
+// Case is one randomized configuration for the property harness: a
+// workflow structure × file regime × platform profile × run-option ×
+// fault-regime draw, fully determined by its seed.
+type Case struct {
+	// Name identifies the draw in failure messages.
+	Name string
+	// Seed is the draw that produced this case.
+	Seed int64
+	// Platform is the (possibly capacity-constrained) platform.
+	Platform platform.Config
+	// Workflow is the generated DAG.
+	Workflow *workflow.Workflow
+	// Opts are the run options for the fault-free execution.
+	Opts core.RunOptions
+	// CrashDiv > 0 enables a fault campaign for a second execution,
+	// calibrated against the fault-free makespan via FaultOptions (crash
+	// MTBF = makespan / CrashDiv). Zero means fault-free only.
+	CrashDiv float64
+}
+
+// presetOrder fixes the platform draw order (Presets returns a map).
+var presetOrder = []string{"cori-private", "cori-striped", "summit"}
+
+// RandomCase derives one property-harness case from a seed. Same seed,
+// same case — the draw uses a private rand stream, so the harness's ≥200
+// cases replay bit-identically. File sizes are whole MiB multiples and
+// total traffic stays far below 2^53 bytes, keeping every byte tally an
+// exact float sum regardless of accumulation order.
+func RandomCase(seed int64) (Case, error) {
+	rng := rand.New(rand.NewSource(seed))
+	c := Case{Seed: seed}
+
+	p := workloads.Params{
+		Work:  units.Flops(float64(5+rng.Intn(40)) * 36.80e9),
+		Cores: 1 + rng.Intn(4),
+		Regime: workloads.FileRegime{
+			Count: 1 + rng.Intn(3),
+			Size:  units.Bytes(1+rng.Intn(64)) * units.MiB,
+		},
+	}
+	var (
+		wf  *workflow.Workflow
+		err error
+	)
+	switch rng.Intn(5) {
+	case 0:
+		wf, err = workloads.Chain(2+rng.Intn(5), p)
+	case 1:
+		wf, err = workloads.ForkJoin(2+rng.Intn(4), p)
+	case 2:
+		wf, err = workloads.ReduceTree(2+rng.Intn(7), p)
+	case 3:
+		wf, err = workloads.Broadcast(2+rng.Intn(4), p)
+	default:
+		wf, err = workloads.RandomLayered(seed, 2+rng.Intn(2), 2+rng.Intn(3), 0.3+0.6*rng.Float64(), p)
+	}
+	if err != nil {
+		return Case{}, err
+	}
+	c.Workflow = wf
+
+	name := presetOrder[rng.Intn(len(presetOrder))]
+	cfg := platform.Presets(1 + rng.Intn(3))[name]
+
+	fractions := []float64{0, 0.25, 0.5, 0.75, 1}
+	c.Opts = core.RunOptions{
+		StagedFraction:     fractions[rng.Intn(len(fractions))],
+		IntermediatesToBB:  rng.Intn(2) == 0,
+		EvictAfterLastRead: rng.Intn(2) == 0,
+		PrePlaceInputs:     rng.Intn(2) == 0,
+	}
+	if name == "cori-private" && rng.Intn(4) == 0 {
+		c.Opts.EnforcePrivateVisibility = true
+	}
+	if rng.Intn(4) == 0 {
+		// Constrained burst buffer: capacity a small multiple of the edge
+		// volume, so writes overflow and must fall back to the PFS.
+		// Pre-placement bypasses the fallback path (PlaceInitial fails
+		// outright on a full tier), so these cases stage at runtime only.
+		cfg.BB.Capacity = units.Bytes(1+rng.Intn(3)) * p.Regime.Bytes()
+		c.Opts.BBFallback = true
+		c.Opts.IntermediatesToBB = true
+		c.Opts.PrePlaceInputs = false
+	}
+	c.Platform = cfg
+
+	if rng.Intn(5) < 2 {
+		c.CrashDiv = []float64{2, 4, 8}[rng.Intn(3)]
+		c.Opts.BBFallback = true
+		// Generous retry budget so bounded fault campaigns cannot exhaust
+		// it; jittered backoff draws from its own seeded stream.
+		c.Opts.Retry = exec.RetryPolicy{
+			MaxRetries: 60, Backoff: exec.BackoffExponential,
+			BaseDelay: 2, MaxDelay: 60, Jitter: 0.25, Seed: seed,
+		}
+	}
+
+	c.Name = fmt.Sprintf("seed%04d-%s-%s-f%.2f", seed, wf.Name(), name, c.Opts.StagedFraction)
+	return c, nil
+}
+
+// FaultOptions returns the run options for the case's fault campaign,
+// calibrated against the fault-free makespan: task crashes with MTBF
+// makespan/CrashDiv, about one node outage, occasional burst-buffer
+// rejections, and a transient bandwidth-degradation window. All processes
+// are budget-bounded so recovery always terminates.
+func (c Case) FaultOptions(baseline float64) (core.RunOptions, error) {
+	if c.CrashDiv <= 0 {
+		return core.RunOptions{}, fmt.Errorf("invariants: case %s has no fault regime", c.Name)
+	}
+	inj, err := faults.New(faults.Config{
+		Seed:        c.Seed,
+		TaskCrash:   &faults.CrashProcess{Arrival: faults.Exp(baseline / c.CrashDiv), Budget: int(2 * c.CrashDiv)},
+		NodeFailure: &faults.NodeProcess{Arrival: faults.Exp(baseline), MTTR: baseline / 10, Budget: 2},
+		BBReject:    &faults.RejectPolicy{Prob: 0.05},
+		BBDegrade:   &faults.DegradeProcess{Arrival: faults.Exp(baseline / 2), Duration: baseline / 20, Factor: 0.3},
+	})
+	if err != nil {
+		return core.RunOptions{}, err
+	}
+	fo := c.Opts
+	fo.Faults = inj
+	return fo, nil
+}

@@ -1,0 +1,151 @@
+package invariants
+
+import (
+	"bytes"
+	"testing"
+
+	"bbwfsim/internal/core"
+	"bbwfsim/internal/metrics"
+)
+
+// TestPropertyHarness drives 220 seeded random cases — workflow structure ×
+// file regime × platform profile × run options, ~40% with a calibrated
+// fault campaign on top — through the full simulator and checks every
+// cross-layer invariant on each result. Every 20th case is additionally
+// replayed and must reproduce its observability snapshot byte-for-byte.
+func TestPropertyHarness(t *testing.T) {
+	const cases = 220
+	var withFaults, constrained int
+	for seed := int64(1); seed <= cases; seed++ {
+		c, err := RandomCase(seed)
+		if err != nil {
+			t.Fatalf("RandomCase(%d): %v", seed, err)
+		}
+		if c.CrashDiv > 0 {
+			withFaults++
+		}
+		if c.Platform.BB.Capacity > 0 {
+			constrained++
+		}
+
+		run := func(faulty bool, baseline float64) *core.Result {
+			t.Helper()
+			ro := c.Opts
+			if faulty {
+				ro, err = c.FaultOptions(baseline)
+				if err != nil {
+					t.Fatalf("%s: FaultOptions: %v", c.Name, err)
+				}
+			}
+			sim, err := core.NewSimulator(c.Platform)
+			if err != nil {
+				t.Fatalf("%s: NewSimulator: %v", c.Name, err)
+			}
+			res, err := sim.Run(c.Workflow, ro)
+			if err != nil {
+				t.Fatalf("%s (faulty=%v): Run: %v", c.Name, faulty, err)
+			}
+			for _, v := range Check(c.Platform, c.Workflow, res) {
+				t.Errorf("%s (faulty=%v): %s", c.Name, faulty, v)
+			}
+			return res
+		}
+
+		res := run(false, 0)
+		if c.CrashDiv > 0 {
+			run(true, res.Makespan)
+		}
+
+		if seed%20 == 0 {
+			replay := run(false, 0)
+			a, err := res.Metrics.JSON()
+			if err != nil {
+				t.Fatalf("%s: JSON: %v", c.Name, err)
+			}
+			b, err := replay.Metrics.JSON()
+			if err != nil {
+				t.Fatalf("%s: JSON: %v", c.Name, err)
+			}
+			if !bytes.Equal(a, b) {
+				t.Errorf("%s: replayed snapshot differs from original", c.Name)
+			}
+			if c.CrashDiv > 0 {
+				fr := run(true, res.Makespan)
+				fa, _ := fr.Metrics.JSON()
+				fb, _ := run(true, res.Makespan).Metrics.JSON()
+				if !bytes.Equal(fa, fb) {
+					t.Errorf("%s: replayed fault campaign snapshot differs", c.Name)
+				}
+			}
+		}
+	}
+	// Guard against generator drift silently hollowing out the harness.
+	if withFaults < 30 {
+		t.Errorf("only %d/%d cases drew a fault regime; generator coverage degraded", withFaults, cases)
+	}
+	if constrained < 30 {
+		t.Errorf("only %d/%d cases drew a constrained BB; generator coverage degraded", constrained, cases)
+	}
+}
+
+// TestCheckDetectsTampering makes sure Check is a tripwire, not a
+// tautology: corrupting any of the quantities it validates must produce a
+// violation.
+func TestCheckDetectsTampering(t *testing.T) {
+	c, err := RandomCase(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := core.NewSimulator(c.Platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(c.Workflow, c.Opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := Check(c.Platform, c.Workflow, res); len(v) != 0 {
+		t.Fatalf("clean run reported violations: %v", v)
+	}
+
+	tamper := func(name string, mutate func()) {
+		t.Helper()
+		mutate()
+		if v := Check(c.Platform, c.Workflow, res); len(v) == 0 {
+			t.Errorf("%s: tampering went undetected", name)
+		}
+	}
+	findCounter := func(family string) *metrics.Sample {
+		t.Helper()
+		for i := range res.Metrics.Counters {
+			if res.Metrics.Counters[i].Family == family {
+				return &res.Metrics.Counters[i]
+			}
+		}
+		t.Fatalf("snapshot has no %s counter", family)
+		return nil
+	}
+
+	completed := findCounter(metrics.TasksCompletedTotal)
+	orig := completed.Value
+	tamper("inflated tasks_completed_total", func() { completed.Value += 1 })
+	completed.Value = orig
+
+	phase := findCounter(metrics.TaskPhaseSecondsTotal)
+	orig = phase.Value
+	tamper("skewed task_phase_seconds_total", func() { phase.Value += 0.125 })
+	phase.Value = orig
+
+	events := findCounter(metrics.SimEventsTotal)
+	orig = events.Value
+	tamper("dropped sim_events_total", func() { events.Value -= 1 })
+	events.Value = orig
+
+	origMakespan := res.Makespan
+	tamper("shifted makespan", func() { res.Makespan *= 1.5 })
+	res.Makespan = origMakespan
+
+	if v := Check(c.Platform, c.Workflow, res); len(v) != 0 {
+		t.Fatalf("restored run still reports violations: %v", v)
+	}
+}

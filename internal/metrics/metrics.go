@@ -1,0 +1,204 @@
+// Package metrics is the simulator's deterministic observability layer:
+// counters, gauges, and fixed-bucket histograms that describe one simulated
+// execution — bytes moved per storage tier, virtual time spent per task
+// phase, burst-buffer occupancy high-water marks, flow-solver work, fault
+// and retry tallies.
+//
+// Everything here is driven exclusively by *virtual* time and deterministic
+// event ordering: emission sites pass values derived from sim.Engine.Now,
+// never from the wall clock (bbvet's metrics-virtual-time rule enforces
+// this), and Snapshot renders every family sorted by family name and label
+// key. Two runs of the same configuration therefore produce byte-identical
+// snapshots, and snapshots themselves become comparable artifacts: CI diffs
+// them, the invariant harness (internal/invariants) cross-checks them
+// against traces, and campaign runners merge them in submission-index order
+// so `-j N` output equals serial output bit for bit.
+package metrics
+
+// Metric family names. Counters end in _total; gauges and histograms do
+// not. The constants keep emission sites, tests, and docs in sync.
+const (
+	// SimEventsTotal counts discrete events the kernel executed.
+	SimEventsTotal = "sim_events_total"
+	// SimQueuePeakEvents is the event queue's high-water mark (gauge).
+	SimQueuePeakEvents = "sim_queue_peak_events"
+
+	// FlowRecomputesTotal counts max-min fair rate recomputes.
+	FlowRecomputesTotal = "flow_recomputes_total"
+	// FlowFreezeRoundsTotal counts progressive-filling rounds across all
+	// recomputes (the solver's inner-loop work metric).
+	FlowFreezeRoundsTotal = "flow_freeze_rounds_total"
+	// FlowFlowsTotal counts flows started on the network.
+	FlowFlowsTotal = "flow_flows_total"
+
+	// StorageBytesTotal counts bytes moved, labeled by tier and op.
+	StorageBytesTotal = "storage_bytes_total"
+	// StorageOpsTotal counts storage operations, labeled by tier and op.
+	StorageOpsTotal = "storage_ops_total"
+	// StorageOpSecondsTotal sums per-operation virtual durations (latency
+	// included), labeled by tier and op.
+	StorageOpSecondsTotal = "storage_op_seconds_total"
+	// StorageOpSeconds is the fixed-bucket histogram of per-operation
+	// virtual durations, labeled by tier and op.
+	StorageOpSeconds = "storage_op_seconds"
+	// StoragePeakBytes is the occupancy high-water mark of one storage
+	// service (gauge, labeled by service name).
+	StoragePeakBytes = "storage_peak_bytes"
+
+	// TaskPhaseSecondsTotal sums virtual time per task category and phase
+	// (read, compute, write, stage-in, stage-out), committed once per task
+	// completion.
+	TaskPhaseSecondsTotal = "task_phase_seconds_total"
+	// TaskWaitSecondsTotal sums ready-to-start waiting time per category.
+	TaskWaitSecondsTotal = "task_wait_seconds_total"
+	// TaskAbortedSecondsTotal sums the partial virtual time of attempts a
+	// fault aborted mid-flight, per category (zero on fault-free runs).
+	TaskAbortedSecondsTotal = "task_aborted_seconds_total"
+	// TasksCompletedTotal counts task completions per category; lineage
+	// re-execution can push it above the task count.
+	TasksCompletedTotal = "tasks_completed_total"
+
+	// Fault tallies (PR 2), folded in from the trace.
+	FaultTaskFailuresTotal   = "fault_task_failures_total"
+	FaultRetriesTotal        = "fault_retries_total"
+	FaultNodeFailuresTotal   = "fault_node_failures_total"
+	FaultBBRejectionsTotal   = "fault_bb_rejections_total"
+	FaultFallbacksTotal      = "fault_fallbacks_total"
+	FaultDegradeWindowsTotal = "fault_degrade_windows_total"
+
+	// MakespanSeconds is the run's makespan (gauge; campaign merges keep
+	// the maximum).
+	MakespanSeconds = "makespan_seconds"
+)
+
+// Phase label values for TaskPhaseSecondsTotal.
+const (
+	PhaseRead     = "read"
+	PhaseCompute  = "compute"
+	PhaseWrite    = "write"
+	PhaseStageIn  = "stage-in"
+	PhaseStageOut = "stage-out"
+)
+
+// Op label values for the storage families.
+const (
+	OpRead  = "read"
+	OpWrite = "write"
+)
+
+// DefaultBuckets are the fixed upper bounds (seconds) of every duration
+// histogram; an implicit +Inf bucket follows the last bound. The set is
+// fixed — not per-run adaptive — so histograms from different runs merge
+// bucket-by-bucket.
+var DefaultBuckets = []float64{0.001, 0.01, 0.1, 1, 10, 100, 1000}
+
+// Key is the label set of one series. Unused labels stay empty and are
+// omitted from rendered output; the populated fields depend on the family
+// (e.g. Tier+Op for storage traffic, Task+Phase for the phase profiler).
+type Key struct {
+	Tier    string `json:"tier,omitempty"`    // storage tier: pfs, shared-bb, node-bb
+	Op      string `json:"op,omitempty"`      // read or write
+	Phase   string `json:"phase,omitempty"`   // task phase
+	Task    string `json:"task,omitempty"`    // task category name
+	Service string `json:"service,omitempty"` // individual service name, e.g. "bb@node003"
+}
+
+// less orders keys deterministically (field by field, declaration order).
+func (k Key) less(o Key) bool {
+	if k.Tier != o.Tier {
+		return k.Tier < o.Tier
+	}
+	if k.Op != o.Op {
+		return k.Op < o.Op
+	}
+	if k.Phase != o.Phase {
+		return k.Phase < o.Phase
+	}
+	if k.Task != o.Task {
+		return k.Task < o.Task
+	}
+	return k.Service < o.Service
+}
+
+// series identifies one time series: a family plus its label key.
+type series struct {
+	family string
+	key    Key
+}
+
+func (s series) less(o series) bool {
+	if s.family != o.family {
+		return s.family < o.family
+	}
+	return s.key.less(o.key)
+}
+
+// histogram is the mutable accumulator behind one histogram series.
+type histogram struct {
+	buckets []uint64 // len(DefaultBuckets)+1; last is +Inf
+	count   uint64
+	sum     float64
+}
+
+// Collector accumulates one run's metrics. All methods are nil-safe no-ops
+// on a nil receiver, so instrumented layers need no "is observability on"
+// branches. A Collector is single-threaded, like everything inside a run.
+type Collector struct {
+	platform string
+	workflow string
+	counters map[series]float64
+	gauges   map[series]float64
+	hists    map[series]*histogram
+}
+
+// New returns an empty collector for one run on the named platform and
+// workflow.
+func New(platform, workflow string) *Collector {
+	return &Collector{
+		platform: platform,
+		workflow: workflow,
+		counters: map[series]float64{},
+		gauges:   map[series]float64{},
+		hists:    map[series]*histogram{},
+	}
+}
+
+// Add increments the counter series by v.
+func (c *Collector) Add(family string, k Key, v float64) {
+	if c == nil {
+		return
+	}
+	c.counters[series{family, k}] += v
+}
+
+// GaugeMax raises the gauge series to v if v exceeds its current value
+// (high-water-mark semantics; absent series start at v).
+func (c *Collector) GaugeMax(family string, k Key, v float64) {
+	if c == nil {
+		return
+	}
+	s := series{family, k}
+	if cur, ok := c.gauges[s]; !ok || v > cur {
+		c.gauges[s] = v
+	}
+}
+
+// Observe records v into the histogram series (fixed DefaultBuckets).
+func (c *Collector) Observe(family string, k Key, v float64) {
+	if c == nil {
+		return
+	}
+	s := series{family, k}
+	h := c.hists[s]
+	if h == nil {
+		h = &histogram{buckets: make([]uint64, len(DefaultBuckets)+1)}
+		c.hists[s] = h
+	}
+	i := 0
+	for i < len(DefaultBuckets) && v > DefaultBuckets[i] {
+		i++
+	}
+	h.buckets[i]++
+	h.count++
+	h.sum += v
+}

@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// promPrefix namespaces every exposed family, Prometheus-convention style.
+const promPrefix = "bbwfsim_"
+
+// errWriter folds the first write error so the exposition loop stays
+// linear; every Fprintf below checks through it.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+// WriteProm renders the snapshot in the Prometheus text exposition format
+// (one # TYPE line per family, histograms as _bucket/_sum/_count with
+// cumulative le bounds). The output is deterministic: series appear in
+// snapshot order, which is sorted by (family, key).
+func (s *Snapshot) WriteProm(w io.Writer) error {
+	ew := &errWriter{w: w}
+	writeScalar := func(samples []Sample, typ string) {
+		last := ""
+		for _, sm := range samples {
+			if sm.Family != last {
+				ew.printf("# TYPE %s%s %s\n", promPrefix, sm.Family, typ)
+				last = sm.Family
+			}
+			ew.printf("%s%s%s %s\n", promPrefix, sm.Family, sm.labels(), formatValue(sm.Value))
+		}
+	}
+	writeScalar(s.Counters, "counter")
+	writeScalar(s.Gauges, "gauge")
+	last := ""
+	for _, h := range s.Histograms {
+		if h.Family != last {
+			ew.printf("# TYPE %s%s histogram\n", promPrefix, h.Family)
+			last = h.Family
+		}
+		cum := uint64(0)
+		for i, b := range h.Buckets {
+			cum += b
+			le := "+Inf"
+			if i < len(s.BucketBounds) {
+				le = formatValue(s.BucketBounds[i])
+			}
+			ew.printf("%s%s_bucket%s %d\n", promPrefix, h.Family, h.withLE(le), cum)
+		}
+		ew.printf("%s%s_sum%s %s\n", promPrefix, h.Family, h.labels(), formatValue(h.Sum))
+		ew.printf("%s%s_count%s %d\n", promPrefix, h.Family, h.labels(), h.Count)
+	}
+	return ew.err
+}
+
+// withLE renders the histogram's labels with the cumulative-bucket le
+// label appended, keeping the fixed label order.
+func (h Histogram) withLE(le string) string {
+	base := h.labels()
+	quoted := "le=" + strconv.Quote(le)
+	if base == "" {
+		return "{" + quoted + "}"
+	}
+	return base[:len(base)-1] + "," + quoted + "}"
+}

@@ -134,6 +134,26 @@ func Map[T any](jobs, n int, fn func(i int) (T, error)) ([]T, error) {
 	return out, nil
 }
 
+// MapReduce is Map followed by an index-ordered fold: once every point has
+// run, fold(acc, out[i]) is applied for i = 0..n-1 on the calling
+// goroutine, no matter which worker finished first. Because the fold order
+// is the submission order, non-commutative accumulations — floating-point
+// sums, observability-snapshot merges — produce bit-identical results at
+// any jobs value, which is the property the campaign layer's "-j N equals
+// serial" contract rests on. On error the accumulator is returned as-is
+// (partial folds never happen: the fold only starts after every point
+// succeeded).
+func MapReduce[T, A any](jobs, n int, fn func(i int) (T, error), acc A, fold func(A, T) A) (A, error) {
+	out, err := Map(jobs, n, fn)
+	if err != nil {
+		return acc, err
+	}
+	for _, v := range out {
+		acc = fold(acc, v)
+	}
+	return acc, nil
+}
+
 // Do is Map for point functions with no result value.
 func Do(jobs, n int, fn func(i int) error) error {
 	_, err := Map(jobs, n, func(i int) (struct{}, error) {

@@ -144,6 +144,60 @@ func TestDo(t *testing.T) {
 	}
 }
 
+// TestMapReduceFoldOrderIsSubmissionOrder: the fold visits results in index
+// order at any jobs value, so a non-commutative accumulation is bit-identical
+// to the serial fold. The fold records the visit order explicitly and also
+// accumulates a float expression whose value depends on evaluation order.
+func TestMapReduceFoldOrderIsSubmissionOrder(t *testing.T) {
+	type acc struct {
+		order []int
+		sum   float64
+	}
+	point := func(i int) (int, error) { return i, nil }
+	fold := func(a acc, v int) acc {
+		a.order = append(a.order, v)
+		a.sum = a.sum/3 + float64(v)*1.0000001
+		return a
+	}
+	serial, err := MapReduce(1, 50, point, acc{}, fold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, jobs := range []int{2, 8, 0} {
+		got, err := MapReduce(jobs, 50, point, acc{}, fold)
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		for i, v := range got.order {
+			if v != i {
+				t.Fatalf("jobs=%d: fold visited %d at position %d", jobs, v, i)
+			}
+		}
+		if got.sum != serial.sum {
+			t.Fatalf("jobs=%d: fold sum %v != serial %v", jobs, got.sum, serial.sum)
+		}
+	}
+}
+
+// TestMapReduceErrorLeavesAccumulator: a failing point aborts before any
+// folding happens, returning the accumulator untouched.
+func TestMapReduceErrorLeavesAccumulator(t *testing.T) {
+	sentinel := errors.New("mr-fail")
+	folded := 0
+	got, err := MapReduce(4, 10, func(i int) (int, error) {
+		if i == 3 {
+			return 0, sentinel
+		}
+		return i, nil
+	}, 42, func(a, v int) int { folded++; return a + v })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want %v", err, sentinel)
+	}
+	if got != 42 || folded != 0 {
+		t.Fatalf("acc = %d (folds: %d), want untouched 42 with 0 folds", got, folded)
+	}
+}
+
 // TestMapDeterministicAtAnyJobs is the package's core promise stated as a
 // property: identical results for jobs=1 and jobs=GOMAXPROCS on a
 // compute-heavy point function.

@@ -67,6 +67,7 @@ type Engine struct {
 	running bool
 	stopped bool
 	fired   uint64
+	maxPend int
 }
 
 // NewEngine returns an engine with the clock at zero and an empty queue.
@@ -84,6 +85,12 @@ func (e *Engine) EventsFired() uint64 { return e.fired }
 // Pending returns the number of events currently scheduled.
 func (e *Engine) Pending() int { return len(e.queue) }
 
+// MaxPending returns the event queue's high-water mark: the largest number
+// of simultaneously scheduled events seen so far. Like EventsFired it is a
+// deterministic cost metric — the observability layer reports it as the
+// sim_queue_peak_events gauge.
+func (e *Engine) MaxPending() int { return e.maxPend }
+
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: it always indicates a modeling bug, and silently clamping would
 // corrupt causality.
@@ -100,6 +107,9 @@ func (e *Engine) At(t float64, fn func()) *Event {
 	ev := &Event{Time: t, fn: fn, seq: e.seq}
 	e.seq++
 	heap.Push(&e.queue, ev)
+	if len(e.queue) > e.maxPend {
+		e.maxPend = len(e.queue)
+	}
 	return ev
 }
 

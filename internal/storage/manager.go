@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"bbwfsim/internal/flow"
+	"bbwfsim/internal/metrics"
 	"bbwfsim/internal/platform"
 	"bbwfsim/internal/sim"
 	"bbwfsim/internal/units"
@@ -135,6 +136,9 @@ type Manager struct {
 	// space that Used() already counts but the registry does not yet see.
 	pending map[Service]units.Bytes
 	stats   map[Service]*ServiceStats
+	// col receives per-operation metrics at completion; nil (the default)
+	// costs nothing beyond the nil-receiver check inside the collector.
+	col *metrics.Collector
 }
 
 // NewManager builds a manager over the platform's flow network. A nil model
@@ -160,6 +164,23 @@ func (m *Manager) SetModel(model OpModel) {
 		model = IdentityModel{}
 	}
 	m.model = model
+}
+
+// SetMetrics attaches a collector; every operation completion then records
+// bytes, op counts, and virtual-duration histograms per (tier, op).
+func (m *Manager) SetMetrics(col *metrics.Collector) { m.col = col }
+
+// observeOp records one completed operation leg. Durations are virtual
+// seconds (engine time deltas) — the only clock this layer knows.
+func (m *Manager) observeOp(svc Service, opKind string, size units.Bytes, dur float64) {
+	if m.col == nil {
+		return
+	}
+	k := metrics.Key{Tier: string(svc.Kind()), Op: opKind}
+	m.col.Add(metrics.StorageBytesTotal, k, float64(size))
+	m.col.Add(metrics.StorageOpsTotal, k, 1)
+	m.col.Add(metrics.StorageOpSecondsTotal, k, dur)
+	m.col.Observe(metrics.StorageOpSeconds, k, dur)
 }
 
 // Registry returns the file-location registry the manager updates.
@@ -224,6 +245,7 @@ func (m *Manager) Read(node *platform.Node, f *workflow.File, svc Service, onDon
 			st.BytesRead += f.Size()
 			st.ReadOps++
 			st.ReadSeconds += m.eng.Now() - op.Started
+			m.observeOp(svc, metrics.OpRead, f.Size(), m.eng.Now()-op.Started)
 			if onDone != nil {
 				onDone()
 			}
@@ -265,6 +287,7 @@ func (m *Manager) Write(node *platform.Node, f *workflow.File, svc Service, onDo
 			st.BytesWritten += f.Size()
 			st.WriteOps++
 			st.WriteSeconds += m.eng.Now() - op.Started
+			m.observeOp(svc, metrics.OpWrite, f.Size(), m.eng.Now()-op.Started)
 			if onDone != nil {
 				onDone()
 			}
@@ -323,6 +346,8 @@ func (m *Manager) Copy(node *platform.Node, f *workflow.File, src, dst Service, 
 			dstStats.BytesWritten += f.Size()
 			dstStats.WriteOps++
 			dstStats.WriteSeconds += dur
+			m.observeOp(src, metrics.OpRead, f.Size(), dur)
+			m.observeOp(dst, metrics.OpWrite, f.Size(), dur)
 			if onDone != nil {
 				onDone()
 			}

@@ -49,9 +49,11 @@ type Service interface {
 	// StreamCap bounds a single stream's rate; 0 means unbounded.
 	StreamCap(node *platform.Node) units.Bandwidth
 	// Capacity is the total capacity (0 = unlimited); Used is currently
-	// reserved space.
+	// reserved space; Peak is the occupancy high-water mark over the run
+	// (the storage_peak_bytes gauge of the observability layer).
 	Capacity() units.Bytes
 	Used() units.Bytes
+	Peak() units.Bytes
 	// Reserve claims space for a file about to be written; it fails when
 	// the service is full. Release returns space (eviction).
 	Reserve(size units.Bytes) error
@@ -66,10 +68,12 @@ type capacityTracker struct {
 	name     string
 	capacity units.Bytes
 	used     units.Bytes
+	peak     units.Bytes
 }
 
 func (c *capacityTracker) Capacity() units.Bytes { return c.capacity }
 func (c *capacityTracker) Used() units.Bytes     { return c.used }
+func (c *capacityTracker) Peak() units.Bytes     { return c.peak }
 
 func (c *capacityTracker) Reserve(size units.Bytes) error {
 	if size < 0 {
@@ -79,6 +83,9 @@ func (c *capacityTracker) Reserve(size units.Bytes) error {
 		return &FullError{Service: c.name, Capacity: c.capacity, Used: c.used, Requested: size}
 	}
 	c.used += size
+	if c.used > c.peak {
+		c.peak = c.used
+	}
 	return nil
 }
 

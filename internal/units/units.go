@@ -146,6 +146,20 @@ func (r FlopRate) String() string {
 	}
 }
 
+// parseScalar parses the numeric part of a quantity. NaN, ±Inf, and
+// negative values are rejected here so malformed strings cannot leak
+// non-finite sizes, bandwidths, or rates into the simulation.
+func parseScalar(num, orig, what string) (float64, error) {
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: parse %s %q: %v", what, orig, err)
+	}
+	if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("units: %s %q must be non-negative and finite", what, orig)
+	}
+	return v, nil
+}
+
 var sizeSuffixes = []struct {
 	suffix string
 	unit   Bytes
@@ -160,23 +174,16 @@ func ParseBytes(s string) (Bytes, error) {
 	t := strings.TrimSpace(s)
 	for _, su := range sizeSuffixes {
 		if strings.HasSuffix(t, su.suffix) {
-			num := strings.TrimSpace(strings.TrimSuffix(t, su.suffix))
-			v, err := strconv.ParseFloat(num, 64)
+			v, err := parseScalar(strings.TrimSpace(strings.TrimSuffix(t, su.suffix)), s, "size")
 			if err != nil {
-				return 0, fmt.Errorf("units: parse size %q: %v", s, err)
-			}
-			if v < 0 {
-				return 0, fmt.Errorf("units: negative size %q", s)
+				return 0, err
 			}
 			return Bytes(v) * su.unit, nil
 		}
 	}
-	v, err := strconv.ParseFloat(t, 64)
+	v, err := parseScalar(t, s, "size")
 	if err != nil {
-		return 0, fmt.Errorf("units: parse size %q: %v", s, err)
-	}
-	if v < 0 {
-		return 0, fmt.Errorf("units: negative size %q", s)
+		return 0, err
 	}
 	return Bytes(v), nil
 }
@@ -195,23 +202,16 @@ func ParseBandwidth(s string) (Bandwidth, error) {
 	t := strings.TrimSpace(s)
 	for _, su := range bwSuffixes {
 		if strings.HasSuffix(t, su.suffix) {
-			num := strings.TrimSpace(strings.TrimSuffix(t, su.suffix))
-			v, err := strconv.ParseFloat(num, 64)
+			v, err := parseScalar(strings.TrimSpace(strings.TrimSuffix(t, su.suffix)), s, "bandwidth")
 			if err != nil {
-				return 0, fmt.Errorf("units: parse bandwidth %q: %v", s, err)
-			}
-			if v < 0 {
-				return 0, fmt.Errorf("units: negative bandwidth %q", s)
+				return 0, err
 			}
 			return Bandwidth(v) * su.unit, nil
 		}
 	}
-	v, err := strconv.ParseFloat(t, 64)
+	v, err := parseScalar(t, s, "bandwidth")
 	if err != nil {
-		return 0, fmt.Errorf("units: parse bandwidth %q: %v", s, err)
-	}
-	if v < 0 {
-		return 0, fmt.Errorf("units: negative bandwidth %q", s)
+		return 0, err
 	}
 	return Bandwidth(v), nil
 }
@@ -229,23 +229,16 @@ func ParseFlopRate(s string) (FlopRate, error) {
 	}
 	for _, su := range suffixes {
 		if strings.HasSuffix(t, su.suffix) {
-			num := strings.TrimSpace(strings.TrimSuffix(t, su.suffix))
-			v, err := strconv.ParseFloat(num, 64)
+			v, err := parseScalar(strings.TrimSpace(strings.TrimSuffix(t, su.suffix)), s, "flop rate")
 			if err != nil {
-				return 0, fmt.Errorf("units: parse flop rate %q: %v", s, err)
-			}
-			if v < 0 {
-				return 0, fmt.Errorf("units: negative flop rate %q", s)
+				return 0, err
 			}
 			return FlopRate(v) * su.unit, nil
 		}
 	}
-	v, err := strconv.ParseFloat(t, 64)
+	v, err := parseScalar(t, s, "flop rate")
 	if err != nil {
-		return 0, fmt.Errorf("units: parse flop rate %q: %v", s, err)
-	}
-	if v < 0 {
-		return 0, fmt.Errorf("units: negative flop rate %q", s)
+		return 0, err
 	}
 	return FlopRate(v), nil
 }

@@ -1,0 +1,65 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+// TestParseRejectsNonFinite: NaN and ±Inf parse as valid floats, but a
+// quantity built from them would poison every downstream computation, so
+// all three parsers must reject them (with or without a unit suffix).
+func TestParseRejectsNonFinite(t *testing.T) {
+	malformed := []string{"NaN", "nan", "+Inf", "-Inf", "Inf", "NaN MiB", "InfGB", "NaN MB/s", "Inf GFlop/s"}
+	for _, in := range malformed {
+		if v, err := ParseBytes(in); err == nil {
+			t.Errorf("ParseBytes(%q) = %g, want error", in, float64(v))
+		}
+		if v, err := ParseBandwidth(in); err == nil {
+			t.Errorf("ParseBandwidth(%q) = %g, want error", in, float64(v))
+		}
+		if v, err := ParseFlopRate(in); err == nil {
+			t.Errorf("ParseFlopRate(%q) = %g, want error", in, float64(v))
+		}
+	}
+}
+
+// TestParseMalformedQuantities sweeps shared malformed inputs across all
+// three parsers.
+func TestParseMalformedQuantities(t *testing.T) {
+	for _, in := range []string{"", "  ", "1.2.3", "12 XiB", "0x10MiB", "1e", "--1", "1..5GB"} {
+		if _, err := ParseBytes(in); err == nil {
+			t.Errorf("ParseBytes(%q) succeeded, want error", in)
+		}
+		if _, err := ParseBandwidth(in); err == nil {
+			t.Errorf("ParseBandwidth(%q) succeeded, want error", in)
+		}
+		if _, err := ParseFlopRate(in); err == nil {
+			t.Errorf("ParseFlopRate(%q) succeeded, want error", in)
+		}
+	}
+}
+
+// TestZeroQuantities: zero is a valid size everywhere (zero-size files are
+// legal workflow data) and must parse, format, and divide cleanly.
+func TestZeroQuantities(t *testing.T) {
+	for _, in := range []string{"0", "0B", "0.0 MiB", " 0 GB "} {
+		v, err := ParseBytes(in)
+		if err != nil {
+			t.Errorf("ParseBytes(%q): %v", in, err)
+			continue
+		}
+		if v != 0 {
+			t.Errorf("ParseBytes(%q) = %v, want 0", in, v)
+		}
+	}
+	if got := Bytes(0).String(); got != "0 B" {
+		t.Errorf("Bytes(0).String() = %q", got)
+	}
+	if got := Bytes(0).Seconds(100 * MBps); got != 0 {
+		t.Errorf("zero bytes transfer in %g s, want 0", got)
+	}
+	// Zero bytes over zero bandwidth is still "never completes".
+	if got := Bytes(0).Seconds(0); !math.IsInf(got, 1) {
+		t.Errorf("0 B at 0 B/s = %g, want +Inf", got)
+	}
+}
