@@ -34,6 +34,7 @@ func main() {
 		wall    = flag.Bool("walltime", false, "add wall-clock columns to the scalability experiment (output no longer bit-reproducible)")
 		jobs    = flag.Int("j", runtime.NumCPU(), "worker goroutines for independent simulation runs; output is bit-identical at any value (-j 1 = serial)")
 		metPath = flag.String("metrics", "", "write the merged observability snapshot of the instrumented experiments to this JSON file (bit-identical at any -j)")
+		recPol  = flag.String("recovery", "", "restrict the resilience-ckpt sweep to one recovery policy: lineage, ckpt-bb, ckpt-pfs, or ckpt-bb+drain")
 	)
 	flag.Parse()
 
@@ -75,7 +76,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bbexp: unknown format %q (want text or csv)\n", *format)
 		os.Exit(2)
 	}
-	opts := experiments.Options{Reps: *reps, Seed: *seed, Quick: *quick, Jobs: *jobs}
+	opts := experiments.Options{Reps: *reps, Seed: *seed, Quick: *quick, Jobs: *jobs, Recovery: *recPol}
 	var snaps []*metrics.Snapshot
 	if *metPath != "" {
 		// Each instrumented experiment hands over one merged snapshot; the
@@ -119,7 +120,7 @@ func main() {
 	if *metPath != "" {
 		merged := metrics.Merge(snaps)
 		if merged == nil {
-			fmt.Fprintf(os.Stderr, "bbexp: -metrics: none of the selected experiments are instrumented (fig10, fig11, fig13, fig14, resilience, resilience-genomes are)\n")
+			fmt.Fprintf(os.Stderr, "bbexp: -metrics: none of the selected experiments are instrumented (fig10, fig11, fig13, fig14, resilience, resilience-genomes, resilience-ckpt are)\n")
 			os.Exit(1)
 		}
 		data, err := merged.JSON()

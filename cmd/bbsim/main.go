@@ -17,6 +17,7 @@ import (
 	"os"
 	"text/tabwriter"
 
+	"bbwfsim/internal/ckpt"
 	"bbwfsim/internal/core"
 	"bbwfsim/internal/exec"
 	"bbwfsim/internal/platform"
@@ -40,6 +41,11 @@ func main() {
 		nodePol   = flag.String("node-policy", "first-fit", "node selection: first-fit, least-loaded, round-robin")
 		orderPol  = flag.String("order-policy", "fifo", "ready-queue order: fifo, largest-work, critical-path")
 		metricsJS = flag.String("metrics", "", "write the run's observability snapshot to this JSON file")
+		ckptIv    = flag.Float64("ckpt-interval", 0, "checkpoint compute tasks every N seconds of progress (0 = no checkpointing)")
+		ckptTier  = flag.String("ckpt-tier", "bb", "checkpoint target tier: bb or pfs")
+		ckptDrain = flag.Bool("ckpt-drain", false, "asynchronously drain burst-buffer checkpoints to the PFS")
+		ckptDelay = flag.Float64("ckpt-drain-delay", 0, "delay each drain copy by N seconds after its checkpoint commits")
+		ckptSize  = flag.Float64("ckpt-size", 256, "checkpoint snapshot size floor in MiB (tasks with a memory footprint snapshot that instead)")
 		promPath  = flag.String("prom", "", "write the snapshot in Prometheus text format to this file (\"-\" = stdout)")
 	)
 	flag.Parse()
@@ -68,6 +74,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var pol ckpt.Policy
+	if *ckptIv > 0 {
+		pol = ckpt.Policy{
+			Interval:   *ckptIv,
+			Target:     ckpt.Target(*ckptTier),
+			Drain:      *ckptDrain,
+			DrainDelay: *ckptDelay,
+			MinSize:    units.Bytes(*ckptSize * float64(units.MiB)),
+		}
+	}
 	res, err := sim.Run(wf, core.RunOptions{
 		StagedFraction:           *fraction,
 		IntermediatesToBB:        *interBB,
@@ -77,6 +93,7 @@ func main() {
 		EnforcePrivateVisibility: *private,
 		NodePolicy:               np,
 		OrderPolicy:              op,
+		Checkpoint:               pol,
 	})
 	if err != nil {
 		fatal(err)

@@ -86,9 +86,14 @@ func (i *Injector) Start(sys *storage.System) {
 	sys.Platform().Engine().After(i.params.FirstWave, i.wave)
 }
 
-// wave writes one checkpoint per node, then schedules the next wave.
+// wave writes one checkpoint per node, then schedules the next wave. Down
+// nodes skip their wave — a failed node cannot emit checkpoint traffic —
+// and resume with the first wave after their repair.
 func (i *Injector) wave() {
 	for _, node := range i.sys.Platform().Nodes() {
+		if node.Down() {
+			continue
+		}
 		node := node
 		target := i.target(node)
 		f := i.wf.MustAddFile(fmt.Sprintf("ckpt-%s-%06d", node.Name(), i.seq), i.params.Size)

@@ -174,6 +174,27 @@ func TestTerminationBeforeFirstWave(t *testing.T) {
 	}
 }
 
+func TestDownNodesSkipWaves(t *testing.T) {
+	// A failed node emits no checkpoint traffic while down, and resumes
+	// with the first wave after its repair.
+	e := sim.NewEngine()
+	p := platform.MustNew(e, testConfig())
+	sys := storage.NewSystem(p, nil)
+	inj := MustNew(Params{Interval: 1, Size: 80 * units.MB, ToBB: true})
+	inj.Start(sys)
+	node := p.Node(0)
+	e.After(2.5, func() { node.SetDown(true) })
+	e.After(6.5, func() { node.SetDown(false) })
+	e.RunUntil(10.5)
+	// Waves complete at t≈1..2 and t≈7..10 (down through 3..6): 6 total.
+	if inj.Waves != 6 {
+		t.Errorf("Waves = %d, want 6 (4 skipped while the node was down)", inj.Waves)
+	}
+	if want := units.Bytes(inj.Waves) * 80 * units.MB; inj.BytesWritten != want {
+		t.Errorf("BytesWritten = %v, want %v", inj.BytesWritten, want)
+	}
+}
+
 func TestFullTargetDegradesGracefully(t *testing.T) {
 	cfg := testConfig()
 	cfg.BB.Capacity = 50 * units.MB

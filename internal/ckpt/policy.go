@@ -1,0 +1,123 @@
+// Package ckpt defines the task-level checkpoint/restart policy of the
+// execution engine: which storage tier periodically receives progress
+// snapshots of running compute tasks, how often, and whether burst-buffer
+// checkpoints drain asynchronously to the PFS for durability. The policy is
+// pure configuration — the engine (internal/exec) interprets it — plus the
+// classic Young/Daly optimal-interval approximations the `resilience-ckpt`
+// experiment uses as its reference column.
+//
+// The zero Policy disables checkpointing entirely; runs with a disabled
+// policy take the exact same code paths as before the subsystem existed and
+// produce bit-identical traces.
+package ckpt
+
+import (
+	"fmt"
+
+	"bbwfsim/internal/units"
+	"bbwfsim/internal/workflow"
+)
+
+// Target selects the storage tier checkpoints are written to.
+type Target string
+
+const (
+	// TargetBB writes checkpoints to the node's burst buffer: its on-node
+	// BB on Summit-style platforms, the shared BB on Cori-style ones. It is
+	// the default target of an enabled policy.
+	TargetBB Target = "bb"
+	// TargetPFS writes checkpoints directly to the parallel file system.
+	// Slower, but durable against any node failure.
+	TargetPFS Target = "pfs"
+)
+
+// Policy configures task-level checkpointing for one execution. A task
+// with a positive checkpoint size (see SizeFor) writes a snapshot after
+// every Interval seconds of compute progress; on a crash the task restarts
+// from its newest surviving checkpoint instead of recomputing from scratch.
+type Policy struct {
+	// Interval is the compute time between checkpoints, in seconds. A
+	// non-positive interval disables checkpointing (and every other field
+	// must then be zero).
+	Interval float64
+	// Target is the tier checkpoints are written to (default TargetBB).
+	Target Target
+	// Drain asynchronously copies burst-buffer checkpoints to the PFS,
+	// making them durable against the loss of the node that wrote them.
+	// Only meaningful with TargetBB.
+	Drain bool
+	// DrainDelay postpones each drain copy by this many seconds after the
+	// checkpoint commits (real drain agents batch lazily). Non-negative;
+	// only read when Drain is set.
+	DrainDelay float64
+	// SizeFraction scales each task's checkpoint size from its memory
+	// footprint: size = SizeFraction × Task.Memory(). Zero defaults to 1
+	// (a full memory image, the classic checkpoint model).
+	SizeFraction float64
+	// MinSize is the checkpoint size floor, applied after SizeFraction.
+	// Tasks without a declared memory footprint fall back to it entirely;
+	// if it is also zero such tasks are not checkpointed.
+	MinSize units.Bytes
+}
+
+// Enabled reports whether the policy checkpoints anything at all.
+func (p Policy) Enabled() bool { return p.Interval > 0 }
+
+// Validate rejects malformed policies: the zero value passes (disabled),
+// an enabled policy needs a positive interval, a known target tier, and
+// non-negative drain delay, size fraction, and size floor.
+func (p Policy) Validate() error {
+	if !p.Enabled() {
+		if p.Interval < 0 {
+			return fmt.Errorf("ckpt: checkpoint interval must be positive, got %g", p.Interval)
+		}
+		if p != (Policy{}) {
+			return fmt.Errorf("ckpt: checkpoint policy configured without a positive interval")
+		}
+		return nil
+	}
+	switch p.Target {
+	case "", TargetBB, TargetPFS:
+	default:
+		return fmt.Errorf("ckpt: unknown checkpoint target tier %q (want %q or %q)", p.Target, TargetBB, TargetPFS)
+	}
+	if p.DrainDelay < 0 {
+		return fmt.Errorf("ckpt: negative drain delay %g", p.DrainDelay)
+	}
+	if p.Drain && p.Target == TargetPFS {
+		return fmt.Errorf("ckpt: drain requires a burst-buffer target, not %q", TargetPFS)
+	}
+	if p.SizeFraction < 0 {
+		return fmt.Errorf("ckpt: negative checkpoint size fraction %g", p.SizeFraction)
+	}
+	if p.MinSize < 0 {
+		return fmt.Errorf("ckpt: negative checkpoint size floor %v", p.MinSize)
+	}
+	return nil
+}
+
+// Normalized fills the documented defaults of an enabled policy: target
+// TargetBB, size fraction 1. Disabled policies pass through unchanged.
+func (p Policy) Normalized() Policy {
+	if !p.Enabled() {
+		return p
+	}
+	if p.Target == "" {
+		p.Target = TargetBB
+	}
+	if p.SizeFraction == 0 { //bbvet:allow float-compare -- zero is the documented "use default" sentinel, never a computed value
+		p.SizeFraction = 1
+	}
+	return p
+}
+
+// SizeFor returns the checkpoint size of one task: SizeFraction of its
+// memory footprint, floored at MinSize. Zero means the task is not
+// checkpointed (no memory declared and no floor configured).
+func (p Policy) SizeFor(t *workflow.Task) units.Bytes {
+	size := t.Memory().Times(p.SizeFraction)
+	if size < p.MinSize {
+		size = p.MinSize
+	}
+	return size
+}

@@ -1,0 +1,130 @@
+package ckpt
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"bbwfsim/internal/units"
+	"bbwfsim/internal/workflow"
+)
+
+func TestPolicyValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		p       Policy
+		wantErr string // substring; empty means valid
+	}{
+		{"zero value disabled", Policy{}, ""},
+		{"enabled bb", Policy{Interval: 60, Target: TargetBB}, ""},
+		{"enabled pfs", Policy{Interval: 60, Target: TargetPFS}, ""},
+		{"enabled default target", Policy{Interval: 60}, ""},
+		{"enabled with drain", Policy{Interval: 60, Target: TargetBB, Drain: true, DrainDelay: 5}, ""},
+		{"enabled with floor", Policy{Interval: 60, MinSize: units.GiB}, ""},
+		{"negative interval", Policy{Interval: -1}, "interval must be positive"},
+		{"target without interval", Policy{Target: TargetBB}, "without a positive interval"},
+		{"drain without interval", Policy{Drain: true}, "without a positive interval"},
+		{"size without interval", Policy{MinSize: units.GiB}, "without a positive interval"},
+		{"unknown target", Policy{Interval: 60, Target: "tape"}, "unknown checkpoint target"},
+		{"negative drain delay", Policy{Interval: 60, DrainDelay: -2}, "negative drain delay"},
+		{"drain to pfs", Policy{Interval: 60, Target: TargetPFS, Drain: true}, "drain requires a burst-buffer target"},
+		{"negative size fraction", Policy{Interval: 60, SizeFraction: -0.5}, "negative checkpoint size fraction"},
+		{"negative size floor", Policy{Interval: 60, MinSize: -1}, "negative checkpoint size floor"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.p.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestPolicyNormalized(t *testing.T) {
+	p := Policy{Interval: 30}.Normalized()
+	if p.Target != TargetBB {
+		t.Errorf("default target = %q, want %q", p.Target, TargetBB)
+	}
+	if p.SizeFraction != 1 {
+		t.Errorf("default size fraction = %g, want 1", p.SizeFraction)
+	}
+	if got := (Policy{}).Normalized(); got != (Policy{}) {
+		t.Errorf("disabled policy normalized to %+v, want zero value", got)
+	}
+	// Explicit settings survive normalization.
+	p = Policy{Interval: 30, Target: TargetPFS, SizeFraction: 0.25}.Normalized()
+	if p.Target != TargetPFS || p.SizeFraction != 0.25 {
+		t.Errorf("explicit settings overwritten: %+v", p)
+	}
+}
+
+func TestSizeFor(t *testing.T) {
+	wf := workflow.New("t")
+	withMem, err := wf.AddTask(workflow.TaskSpec{ID: "a", Name: "a", Work: 1, Cores: 1, Memory: 8 * units.GiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noMem, err := wf.AddTask(workflow.TaskSpec{ID: "b", Name: "b", Work: 1, Cores: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := Policy{Interval: 60, SizeFraction: 0.5}.Normalized()
+	if got, want := p.SizeFor(withMem), 4*units.GiB; got != want {
+		t.Errorf("SizeFor(withMem) = %v, want %v", got, want)
+	}
+	if got := p.SizeFor(noMem); got != 0 {
+		t.Errorf("SizeFor(noMem) = %v, want 0 (not checkpointed)", got)
+	}
+
+	p.MinSize = 6 * units.GiB
+	if got, want := p.SizeFor(withMem), 6*units.GiB; got != want {
+		t.Errorf("floored SizeFor(withMem) = %v, want %v", got, want)
+	}
+	if got, want := p.SizeFor(noMem), 6*units.GiB; got != want {
+		t.Errorf("SizeFor(noMem) with floor = %v, want %v", got, want)
+	}
+}
+
+func TestYoungDalyIntervals(t *testing.T) {
+	// Young's canonical example: C=60s, M=3600s → sqrt(2·60·3600) ≈ 657.3s.
+	w := YoungInterval(60, 3600)
+	if math.Abs(w-math.Sqrt(2*60*3600)) > 1e-12 {
+		t.Errorf("YoungInterval(60,3600) = %g", w)
+	}
+	// Daly refines Young downward by roughly the checkpoint cost here.
+	d := DalyInterval(60, 3600)
+	if d <= 0 || d >= w {
+		t.Errorf("DalyInterval(60,3600) = %g, want in (0, %g)", d, w)
+	}
+	// Expensive checkpoints saturate at the MTBF.
+	if got := DalyInterval(100, 40); got != 40 {
+		t.Errorf("DalyInterval(100,40) = %g, want 40 (saturated)", got)
+	}
+	// Degenerate inputs have no finite optimum.
+	for _, f := range []float64{YoungInterval(0, 100), YoungInterval(100, 0), DalyInterval(-1, 100), DalyInterval(100, -1)} {
+		if f != 0 {
+			t.Errorf("degenerate interval = %g, want 0", f)
+		}
+	}
+	// Both formulas grow with MTBF.
+	if YoungInterval(60, 7200) <= w {
+		t.Errorf("YoungInterval not monotone in MTBF")
+	}
+}
+
+func TestWriteCost(t *testing.T) {
+	if got := WriteCost(units.GiB, 0.5, units.Bandwidth(float64(units.GiB))); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("WriteCost = %g, want 1.5", got)
+	}
+	if got := WriteCost(units.GiB, 0.5, 0); got != 0.5 {
+		t.Errorf("WriteCost with zero bandwidth = %g, want latency only", got)
+	}
+}

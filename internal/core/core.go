@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"bbwfsim/internal/calib"
+	"bbwfsim/internal/ckpt"
 	"bbwfsim/internal/exec"
 	"bbwfsim/internal/metrics"
 	"bbwfsim/internal/placement"
@@ -98,6 +99,10 @@ type RunOptions struct {
 	// BBFallback redirects writes whose burst-buffer target is full to the
 	// PFS instead of failing the run.
 	BBFallback bool
+	// Checkpoint configures task-level checkpoint/restart recovery
+	// (internal/ckpt): periodic progress snapshots to a storage tier and
+	// restarts from the newest durable one. The zero value disables it.
+	Checkpoint ckpt.Policy
 }
 
 // FaultStats counts the fault and recovery events of one execution.
@@ -116,6 +121,15 @@ type FaultStats struct {
 	Fallbacks int
 	// DegradeWindows is the number of bandwidth-degradation windows opened.
 	DegradeWindows int
+	// CkptCommits is the number of committed task checkpoints.
+	CkptCommits int
+	// CkptDrains is the number of completed BB→PFS checkpoint drains.
+	CkptDrains int
+	// CkptLosses is the number of checkpoint replicas destroyed by faults.
+	CkptLosses int
+	// CkptRestarts is the number of task restarts that resumed from a
+	// checkpoint instead of recomputing from scratch.
+	CkptRestarts int
 }
 
 // faultStats derives the counters from a trace.
@@ -127,6 +141,10 @@ func faultStats(tr *trace.Trace) FaultStats {
 		BBRejections:   tr.CountKind(trace.BBReject),
 		Fallbacks:      tr.CountKind(trace.Fallback),
 		DegradeWindows: tr.CountKind(trace.DegradeStart),
+		CkptCommits:    tr.CountKind(trace.CkptCommit),
+		CkptDrains:     tr.CountKind(trace.CkptDrain),
+		CkptLosses:     tr.CountKind(trace.CkptLost),
+		CkptRestarts:   tr.CountKind(trace.RestartFrom),
 	}
 }
 
@@ -191,6 +209,7 @@ func (s *Simulator) Run(wf *workflow.Workflow, opts RunOptions) (*Result, error)
 		Faults:                   opts.Faults,
 		Retry:                    opts.Retry,
 		BBFallback:               opts.BBFallback,
+		Checkpoint:               opts.Checkpoint,
 		Metrics:                  col,
 	})
 	if err != nil {
@@ -232,6 +251,10 @@ func finishSnapshot(col *metrics.Collector, eng *sim.Engine, plat *platform.Plat
 	col.Add(metrics.FaultBBRejectionsTotal, metrics.Key{}, float64(fs.BBRejections))
 	col.Add(metrics.FaultFallbacksTotal, metrics.Key{}, float64(fs.Fallbacks))
 	col.Add(metrics.FaultDegradeWindowsTotal, metrics.Key{}, float64(fs.DegradeWindows))
+	col.Add(metrics.CkptCommitsTotal, metrics.Key{}, float64(fs.CkptCommits))
+	col.Add(metrics.CkptDrainsTotal, metrics.Key{}, float64(fs.CkptDrains))
+	col.Add(metrics.CkptLossesTotal, metrics.Key{}, float64(fs.CkptLosses))
+	col.Add(metrics.CkptRestartsTotal, metrics.Key{}, float64(fs.CkptRestarts))
 	col.GaugeMax(metrics.MakespanSeconds, metrics.Key{}, tr.Makespan())
 }
 

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"bbwfsim/internal/ckpt"
 	"bbwfsim/internal/metrics"
 	"bbwfsim/internal/platform"
 	"bbwfsim/internal/storage"
@@ -105,6 +106,13 @@ type Config struct {
 	// consulted when a fault actually kills something; the zero value
 	// makes the first failure fatal.
 	Retry RetryPolicy
+	// Checkpoint configures task-level checkpoint/restart (checkpoint.go):
+	// compute tasks periodically persist progress snapshots through the
+	// storage system, and fault-killed tasks restart from the newest
+	// surviving snapshot instead of recomputing from scratch. The zero
+	// value disables checkpointing entirely; such runs take identical code
+	// paths and produce bit-identical traces.
+	Checkpoint ckpt.Policy
 	// BBFallback redirects a write to the PFS when its burst-buffer target
 	// has no space, instead of failing the run (graceful degradation — the
 	// workflow slows down rather than dying). Rejections injected by the
@@ -139,6 +147,15 @@ func Run(sys *storage.System, wf *workflow.Workflow, cfg Config) (*trace.Trace, 
 	if err := cfg.Retry.validate(); err != nil {
 		return nil, err
 	}
+	for i, bg := range cfg.Background {
+		if bg == nil {
+			return nil, fmt.Errorf("exec: nil Background entry at index %d", i)
+		}
+	}
+	if err := cfg.Checkpoint.Validate(); err != nil {
+		return nil, fmt.Errorf("exec: %w", err)
+	}
+	cfg.Checkpoint = cfg.Checkpoint.Normalized()
 	if cfg.Placement == nil {
 		cfg.Placement = PFSOnly{}
 	}
@@ -176,6 +193,11 @@ func Run(sys *storage.System, wf *workflow.Workflow, cfg Config) (*trace.Trace, 
 	}
 	if cfg.Faults != nil && cfg.Retry.Jitter > 0 {
 		e.retryRng = rand.New(rand.NewSource(cfg.Retry.Seed))
+	}
+	if cfg.Checkpoint.Enabled() {
+		e.ckptWf = workflow.New(wf.Name() + "+ckpt")
+		e.ckpts = map[*workflow.Task][]*ckptRec{}
+		e.ckptOf = map[*workflow.File]*ckptRec{}
 	}
 	for _, f := range wf.Files() {
 		e.readers[f] = len(f.Consumers())
@@ -231,6 +253,13 @@ type engine struct {
 	tries    map[*workflow.Task]int // attempts started, per task
 	kills    map[*workflow.Task]int // fault-charged failures, per task
 	retryRng *rand.Rand             // jitter stream; nil unless configured
+
+	// Checkpoint state (checkpoint.go); all nil/zero unless the run has a
+	// checkpoint policy.
+	ckptWf  *workflow.Workflow            // holds snapshot files, outside the DAG
+	ckpts   map[*workflow.Task][]*ckptRec // committed snapshots, oldest first
+	ckptOf  map[*workflow.File]*ckptRec   // reverse index for replica-loss hooks
+	ckptSeq int                           // snapshot file id counter
 
 	finished   int
 	running    int
@@ -360,6 +389,12 @@ func (e *engine) startTask(t *workflow.Task, node *platform.Node, cores int) {
 	case workflow.KindStageOut:
 		e.runStageOut(a, 0)
 	default:
+		if e.ckpts != nil {
+			if ck, svc := e.newestDurableCkpt(t, node); ck != nil {
+				e.restoreFromCkpt(a, ck, svc)
+				return
+			}
+		}
 		e.runReads(a)
 	}
 }
@@ -578,7 +613,6 @@ func (e *engine) readInput(a *attempt, f *workflow.File, onDone func()) {
 func (e *engine) runCompute(a *attempt) {
 	t, node, cores := a.task, a.node, a.cores
 	a.phase = phaseCompute
-	rec := e.tr.Task(t.ID())
 	e.tr.Record(e.now(), trace.ComputeStart, t.ID(), "")
 	var dur float64
 	if e.cfg.Compute != nil {
@@ -590,8 +624,42 @@ func (e *engine) runCompute(a *attempt) {
 	} else {
 		dur = node.ComputeTime(t.Work(), cores, t.Alpha())
 	}
-	a.computeEv = e.sys.Platform().Engine().After(dur, func() {
+	a.computeTotal = dur
+	e.computeSegment(a)
+}
+
+// computeSegment runs the next slice of the attempt's compute phase.
+// Without an applicable checkpoint policy the slice is the whole remaining
+// duration — a single timer, exactly the unsegmented behavior. With one,
+// compute pauses every Interval seconds to persist a snapshot;
+// writeCheckpoint re-enters this loop after the commit. A restored attempt
+// starts with a.progress at the snapshot's mark and computes only the
+// remainder.
+func (e *engine) computeSegment(a *attempt) {
+	if e.err != nil || a.aborted {
+		return
+	}
+	t := a.task
+	remaining := a.computeTotal - a.progress
+	if remaining < 0 {
+		remaining = 0
+	}
+	seg := remaining
+	ckptAfter := false
+	if pol := e.cfg.Checkpoint; pol.Enabled() && !a.ckptOff &&
+		pol.Interval < remaining && pol.SizeFor(t) > 0 {
+		seg = pol.Interval
+		ckptAfter = true
+	}
+	a.segStart = e.now()
+	a.computeEv = e.sys.Platform().Engine().After(seg, func() {
 		a.computeEv = nil
+		a.progress += seg
+		if ckptAfter {
+			e.writeCheckpoint(a)
+			return
+		}
+		rec := e.tr.Task(t.ID())
 		rec.ComputeDone = e.now()
 		e.tr.Record(e.now(), trace.ComputeEnd, t.ID(), "")
 		e.runWrites(a)
@@ -676,6 +744,8 @@ func (e *engine) finishTask(a *attempt) {
 	rec.FinishedAt = e.now()
 	e.tr.Record(e.now(), trace.TaskEnd, t.ID(), "")
 	e.commitPhases(t, rec)
+	e.chargeExecuted(a, true)
+	e.clearCkpts(t)
 	a.node.ReleaseResources(a.cores, t.Memory())
 	e.running--
 	delete(e.active, t)

@@ -157,6 +157,18 @@ type attempt struct {
 	aborted   bool
 	ops       []*storage.Op // in-flight and completed ops, start order
 	computeEv *sim.Event
+
+	// Compute-phase segmentation (checkpoint.go). computeTotal is the full
+	// compute duration of this attempt; progress counts the seconds whose
+	// segments completed; restored is the prefix a checkpoint restore
+	// contributed (zero on first attempts); segStart stamps the running
+	// segment. ckptOff disables checkpointing for the rest of an attempt
+	// whose snapshot write found no tier with space.
+	computeTotal float64
+	progress     float64
+	restored     float64
+	segStart     float64
+	ckptOff      bool
 }
 
 // track remembers an operation so an abort can cancel it. Only fault-enabled
@@ -288,6 +300,7 @@ func (e *engine) abortAttempt(a *attempt) {
 	a.aborted = true
 	e.cfg.Metrics.Add(metrics.TaskAbortedSecondsTotal,
 		metrics.Key{Task: a.task.Name()}, e.now()-e.tr.Task(a.task.ID()).StartedAt)
+	e.chargeExecuted(a, false)
 	if a.computeEv != nil {
 		e.sys.Platform().Engine().Cancel(a.computeEv)
 		a.computeEv = nil
@@ -348,6 +361,12 @@ func (e *engine) loseNodeReplicas(n *platform.Node) {
 			if err := e.sys.Manager().Evict(f, svc); err != nil {
 				e.fail(err)
 				return
+			}
+			if ck := e.ckptOf[f]; ck != nil {
+				// Checkpoint snapshots have no producer to re-execute; their
+				// loss is handled by the checkpoint chain, not the lineage.
+				e.loseCkptReplica(ck, svc)
+				continue
 			}
 			e.recoverLostFile(f)
 			if e.err != nil {

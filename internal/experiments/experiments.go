@@ -49,6 +49,10 @@ type Options struct {
 	// simulation state, so output is bit-identical at any Jobs value —
 	// parallelism only changes wall-clock time.
 	Jobs int
+	// Recovery restricts the resilience-ckpt sweep to one recovery policy
+	// (lineage, ckpt-bb, ckpt-pfs, ckpt-bb+drain). Empty runs them all.
+	// Other experiments ignore it.
+	Recovery string
 	// Metrics, when non-nil, receives each instrumented experiment's
 	// aggregated observability snapshot: the per-run metrics.Snapshot of
 	// every lightweight-simulator run the experiment performs, merged in
@@ -220,6 +224,7 @@ func All() []Experiment {
 		{"ablation-sizing", "Ablation: burst-buffer capacity provisioning", RunAblationSizing},
 		{"resilience", "Resilience: fault injection & recovery on SWarp", RunResilience},
 		{"resilience-genomes", "Resilience: fault injection & recovery on 1000Genomes", RunResilienceGenomes},
+		{"resilience-ckpt", "Resilience: checkpoint/restart policy study (interval × tier × failure rate)", RunResilienceCkpt},
 		{"scalability", "Simulator cost vs. workflow size", RunScalability},
 	}
 }

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestCkptRecoveryBeatsLineage is the policy study's headline claim: at
+// equal seeds and failure rates — every row of one platform × failure-rate
+// cell replays the bit-identical fault stream — checkpointing at the Daly
+// interval strictly reduces re-executed compute versus plain lineage
+// re-execution, on every platform, at every failure rate, for every tier.
+func TestCkptRecoveryBeatsLineage(t *testing.T) {
+	tables, err := RunResilienceCkpt(Options{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	col := func(name string) int {
+		for i, h := range tb.Header {
+			if h == name {
+				return i
+			}
+		}
+		t.Fatalf("no %q column", name)
+		return -1
+	}
+	platC, failC, recC, ivC, reexecC, commitC, restartC :=
+		col("platform"), col("failures"), col("recovery"), col("interval [s]"),
+		col("re-exec compute [s]"), col("ckpt commits"), col("restarts")
+
+	reexec := func(row []string) float64 {
+		v, err := strconv.ParseFloat(row[reexecC], 64)
+		if err != nil {
+			t.Fatalf("unparseable re-exec cell %q: %v", row[reexecC], err)
+		}
+		return v
+	}
+	lineage := map[string]float64{} // platform|failures -> re-exec compute
+	for _, row := range tb.Rows {
+		if row[recC] == "lineage" {
+			lineage[row[platC]+"|"+row[failC]] = reexec(row)
+		}
+	}
+	if len(lineage) == 0 {
+		t.Fatal("sweep has no lineage rows")
+	}
+	var dalyRows, restarts, commits int
+	for _, row := range tb.Rows {
+		if !strings.HasPrefix(row[ivC], "daly (") {
+			continue
+		}
+		dalyRows++
+		base, ok := lineage[row[platC]+"|"+row[failC]]
+		if !ok {
+			t.Fatalf("no lineage row for %s/%s", row[platC], row[failC])
+		}
+		if got := reexec(row); got >= base {
+			t.Errorf("%s/%s/%s: re-executed compute %g does not beat lineage's %g",
+				row[platC], row[failC], row[recC], got, base)
+		}
+		c, _ := strconv.Atoi(row[commitC])
+		r, _ := strconv.Atoi(row[restartC])
+		commits += c
+		restarts += r
+	}
+	if dalyRows == 0 {
+		t.Fatal("sweep has no daly-interval rows")
+	}
+	if commits == 0 || restarts == 0 {
+		t.Errorf("daly rows show %d commits and %d restarts; the recovery machinery never engaged", commits, restarts)
+	}
+}
+
+// TestRecoveryFilter: Options.Recovery restricts the sweep to one policy
+// and rejects unknown names.
+func TestRecoveryFilter(t *testing.T) {
+	tables, err := RunResilienceCkpt(Options{Quick: true, Seed: 1, Recovery: "ckpt-pfs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	var recC int
+	for i, h := range tb.Header {
+		if h == "recovery" {
+			recC = i
+		}
+	}
+	seen := false
+	for _, row := range tb.Rows {
+		switch row[recC] {
+		case "ckpt-pfs":
+			seen = true
+		case "—": // fault-free baseline rows stay
+		default:
+			t.Errorf("filtered sweep contains policy %q", row[recC])
+		}
+	}
+	if !seen {
+		t.Error("filtered sweep contains no ckpt-pfs rows")
+	}
+
+	if _, err := RunResilienceCkpt(Options{Quick: true, Recovery: "bogus"}); err == nil {
+		t.Error("unknown recovery policy accepted")
+	}
+}

@@ -1,0 +1,131 @@
+package invariants
+
+import (
+	"strconv"
+	"strings"
+
+	"bbwfsim/internal/core"
+	"bbwfsim/internal/metrics"
+	"bbwfsim/internal/trace"
+)
+
+// checkCkpt replays the checkpoint/restart events of one run and validates
+// the recovery invariants against the emitted snapshot:
+//
+//	a. every restart-from references a snapshot replica that is live at the
+//	   restart instant — committed (or drained to the PFS) and not since
+//	   destroyed by a fault. The replay's live set is a superset of the
+//	   engine's (rotation evictions record no event), so a restart from a
+//	   truly dead replica always trips this;
+//	b. each restart recovers at most the compute its task has lost to
+//	   aborted attempts so far — a checkpoint cannot recover work that was
+//	   never executed;
+//	c. the recovered-seconds counters sum to the progress marks the
+//	   restart-from events carry (the %g details round-trip exactly; only
+//	   the regrouping by tier needs a tolerance);
+//	d. checkpoint traffic is a subset of storage traffic: ckpt_bytes_total
+//	   never exceeds storage_bytes_total for any (tier, op) — snapshots
+//	   move through the same storage manager as workflow data, so byte
+//	   conservation (invariant 2) covers them too.
+func checkCkpt(snap *metrics.Snapshot, res *core.Result, violation func(string, ...any)) {
+	// Live snapshot replicas: file -> set of service names. Drains add the
+	// PFS replica; losses remove the named one.
+	live := map[string]map[string]bool{}
+	started := map[string]float64{} // task -> current attempt's start
+	aborted := map[string]float64{} // task -> aborted-attempt seconds so far
+	recovered := 0.0                // Σ restart progress marks, event order
+
+	for i, ev := range res.Trace.Events() {
+		switch ev.Kind {
+		case trace.TaskStart:
+			started[ev.TaskID] = ev.Time
+		case trace.TaskFail:
+			aborted[ev.TaskID] += ev.Time - started[ev.TaskID]
+		case trace.CkptCommit:
+			file, svc, _, ok := parseCkptDetail(ev.Detail)
+			if !ok {
+				violation("event %d: malformed ckpt-commit detail %q", i, ev.Detail)
+				continue
+			}
+			if live[file] == nil {
+				live[file] = map[string]bool{}
+			}
+			live[file][svc] = true
+		case trace.CkptDrain:
+			file, _, _, ok := parseCkptDetail(strings.TrimSuffix(ev.Detail, "->pfs"))
+			if !ok || !strings.HasSuffix(ev.Detail, "->pfs") {
+				violation("event %d: malformed ckpt-drain detail %q", i, ev.Detail)
+				continue
+			}
+			if live[file] == nil {
+				violation("event %d: drain of never-committed snapshot %q", i, file)
+				continue
+			}
+			live[file]["pfs"] = true
+		case trace.CkptLost:
+			file, svc, _, ok := parseCkptDetail(ev.Detail)
+			if !ok {
+				violation("event %d: malformed ckpt-lost detail %q", i, ev.Detail)
+				continue
+			}
+			delete(live[file], svc)
+		case trace.RestartFrom:
+			file, svc, p, ok := parseCkptDetail(ev.Detail)
+			if !ok {
+				violation("event %d: malformed restart-from detail %q", i, ev.Detail)
+				continue
+			}
+			if !live[file][svc] {
+				violation("event %d: task %s restarted from %s@%s, which is not durable at t=%g",
+					i, ev.TaskID, file, svc, ev.Time)
+			}
+			if max := aborted[ev.TaskID]; p > max+spanEps*(1+max) {
+				violation("event %d: task %s recovered %g compute seconds but only lost %g to aborts",
+					i, ev.TaskID, p, max)
+			}
+			recovered += p
+		}
+	}
+
+	total := 0.0
+	for _, s := range snap.Counters {
+		if s.Family == metrics.CkptRecoveredSecondsTotal {
+			total += s.Value
+		}
+	}
+	if diff := total - recovered; diff > spanEps*(1+recovered) || -diff > spanEps*(1+recovered) {
+		violation("ckpt_recovered_seconds_total sums to %g, restart-from events carry %g", total, recovered)
+	}
+
+	for _, s := range snap.Counters {
+		if s.Family != metrics.CkptBytesTotal {
+			continue
+		}
+		storageBytes := snap.Counter(metrics.StorageBytesTotal, s.Key)
+		if s.Value > storageBytes {
+			violation("ckpt_bytes_total%+v = %g exceeds storage_bytes_total %g: checkpoint traffic bypassed the storage manager",
+				s.Key, s.Value, storageBytes)
+		}
+	}
+}
+
+// parseCkptDetail splits a checkpoint event detail of the form
+// "file@service" or "file@service p=<progress>". Service names may
+// themselves contain '@' ("bb@node003"), so the split is at the first '@'
+// (snapshot file IDs never contain one) and the last " p=".
+func parseCkptDetail(detail string) (file, svc string, p float64, ok bool) {
+	file, rest, found := strings.Cut(detail, "@")
+	if !found || file == "" || rest == "" {
+		return "", "", 0, false
+	}
+	svc = rest
+	if at := strings.LastIndex(rest, " p="); at >= 0 {
+		svc = rest[:at]
+		var err error
+		p, err = strconv.ParseFloat(rest[at+len(" p="):], 64)
+		if err != nil || svc == "" {
+			return "", "", 0, false
+		}
+	}
+	return file, svc, p, true
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"bbwfsim/internal/ckpt"
 	"bbwfsim/internal/core"
 	"bbwfsim/internal/exec"
 	"bbwfsim/internal/faults"
@@ -110,9 +111,66 @@ func RandomCase(seed int64) (Case, error) {
 		}
 	}
 
+	// Checkpoint-recovery draw — appended after every earlier draw so the
+	// cases of prior harness versions keep their workflow, platform, and
+	// fault regime unchanged.
+	if rng.Intn(3) == 0 {
+		c.Opts.Checkpoint = randomPolicy(rng)
+	}
+
 	c.Name = fmt.Sprintf("seed%04d-%s-%s-f%.2f", seed, wf.Name(), name, c.Opts.StagedFraction)
 	return c, nil
 }
+
+// randomPolicy draws one valid checkpoint policy: an interval shorter than
+// most task compute times, a whole-MiB snapshot size (keeping byte tallies
+// exact float sums), and one of the three recovery tiers — PFS, burst
+// buffer, or burst buffer with an asynchronous drain.
+func randomPolicy(rng *rand.Rand) ckpt.Policy {
+	pol := ckpt.Policy{
+		Interval: []float64{5, 15, 45}[rng.Intn(3)],
+		MinSize:  units.Bytes(1+rng.Intn(4)) * 16 * units.MiB,
+	}
+	switch rng.Intn(3) {
+	case 0:
+		pol.Target = ckpt.TargetPFS
+	case 1:
+		pol.Target = ckpt.TargetBB
+	default:
+		pol.Target = ckpt.TargetBB
+		pol.Drain = true
+		pol.DrainDelay = float64(rng.Intn(20))
+	}
+	return pol
+}
+
+// CkptCase derives a checkpointed variant of RandomCase(seed): the same
+// workflow × platform × option draw, with a checkpoint policy forced on
+// and a fault campaign guaranteed, for the checkpointed property harness.
+// The extra draws come from a separate stream, so the underlying case
+// stays identical to RandomCase's.
+func CkptCase(seed int64) (Case, error) {
+	c, err := RandomCase(seed)
+	if err != nil {
+		return Case{}, err
+	}
+	rng := rand.New(rand.NewSource(seed + 7*streamOffset))
+	c.Opts.Checkpoint = randomPolicy(rng)
+	if c.CrashDiv == 0 { //bbvet:allow float-compare -- zero is the literal "no faults drawn" sentinel RandomCase assigns, never computed
+		c.CrashDiv = []float64{2, 4, 8}[rng.Intn(3)]
+		c.Opts.BBFallback = true
+		c.Opts.Retry = exec.RetryPolicy{
+			MaxRetries: 60, Backoff: exec.BackoffExponential,
+			BaseDelay: 2, MaxDelay: 60, Jitter: 0.25, Seed: seed,
+		}
+	}
+	c.Name = "ckpt-" + c.Name
+	return c, nil
+}
+
+// streamOffset keeps CkptCase's extra draws disjoint from RandomCase's for
+// any seed (same large-prime spacing the fault injector uses).
+const streamOffset = 1_000_003
 
 // FaultOptions returns the run options for the case's fault campaign,
 // calibrated against the fault-free makespan: task crashes with MTBF

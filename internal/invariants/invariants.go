@@ -135,7 +135,12 @@ const spanEps = 1e-9
 //  5. the snapshot's kernel observations match the result: makespan gauge,
 //     event count, and fault tallies;
 //  6. the task-level metric families equal the trace-replay reconstruction
-//     (RebuildPhases) bitwise, in both directions.
+//     (RebuildPhases) bitwise, in both directions;
+//  7. checkpoint/restart consistency (checkCkpt): every restart-from
+//     references a snapshot replica durable at the restart instant, each
+//     restart recovers at most the compute its task lost to aborts,
+//     recovered-seconds counters match the trace, and checkpoint bytes
+//     never exceed the storage traffic they are a part of.
 func Check(cfg platform.Config, wf *workflow.Workflow, res *core.Result) []string {
 	var v []string
 	violation := func(format string, args ...any) {
@@ -226,12 +231,21 @@ func Check(cfg platform.Config, wf *workflow.Workflow, res *core.Result) []strin
 		{metrics.FaultBBRejectionsTotal, res.Faults.BBRejections},
 		{metrics.FaultFallbacksTotal, res.Faults.Fallbacks},
 		{metrics.FaultDegradeWindowsTotal, res.Faults.DegradeWindows},
+		{metrics.CkptCommitsTotal, res.Faults.CkptCommits},
+		{metrics.CkptDrainsTotal, res.Faults.CkptDrains},
+		{metrics.CkptLossesTotal, res.Faults.CkptLosses},
+		{metrics.CkptRestartsTotal, res.Faults.CkptRestarts},
 	}
 	for _, p := range faultPairs {
 		if got := snap.Counter(p.family, metrics.Key{}); got != float64(p.want) { //bbvet:allow float-compare -- both sides are the same integer event count
 			violation("%s = %g, result counted %d", p.family, got, p.want)
 		}
 	}
+
+	// 7. Checkpoint/restart consistency: restarts reference durable
+	// snapshots, recovered compute is bounded by aborted compute, and
+	// checkpoint traffic is a subset of storage traffic (ckpt.go).
+	checkCkpt(snap, res, violation)
 
 	// 6. Task families equal the trace-replay reconstruction bitwise.
 	rebuilt := RebuildPhases(res.Trace, wf)

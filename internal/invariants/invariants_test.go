@@ -2,10 +2,12 @@ package invariants
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 
 	"bbwfsim/internal/core"
 	"bbwfsim/internal/metrics"
+	"bbwfsim/internal/trace"
 )
 
 // TestPropertyHarness drives 220 seeded random cases — workflow structure ×
@@ -88,6 +90,64 @@ func TestPropertyHarness(t *testing.T) {
 	}
 }
 
+// TestCheckpointPropertyHarness drives 200 seeded checkpointed fault
+// configs — the RandomCase draws with a checkpoint policy forced on and a
+// calibrated fault campaign guaranteed — through the full simulator and
+// checks every cross-layer invariant, including the checkpoint replay
+// (restart durability, recovered ≤ aborted, ckpt ⊆ storage traffic).
+func TestCheckpointPropertyHarness(t *testing.T) {
+	const cases = 200
+	var commits, drains, losses, restarts int
+	for seed := int64(1); seed <= cases; seed++ {
+		c, err := CkptCase(seed)
+		if err != nil {
+			t.Fatalf("CkptCase(%d): %v", seed, err)
+		}
+		run := func(faulty bool, baseline float64) *core.Result {
+			t.Helper()
+			ro := c.Opts
+			if faulty {
+				ro, err = c.FaultOptions(baseline)
+				if err != nil {
+					t.Fatalf("%s: FaultOptions: %v", c.Name, err)
+				}
+			}
+			sim, err := core.NewSimulator(c.Platform)
+			if err != nil {
+				t.Fatalf("%s: NewSimulator: %v", c.Name, err)
+			}
+			res, err := sim.Run(c.Workflow, ro)
+			if err != nil {
+				t.Fatalf("%s (faulty=%v): Run: %v", c.Name, faulty, err)
+			}
+			for _, v := range Check(c.Platform, c.Workflow, res) {
+				t.Errorf("%s (faulty=%v): %s", c.Name, faulty, v)
+			}
+			return res
+		}
+		res := run(false, 0)
+		fr := run(true, res.Makespan)
+		commits += fr.Faults.CkptCommits
+		drains += fr.Faults.CkptDrains
+		losses += fr.Faults.CkptLosses
+		restarts += fr.Faults.CkptRestarts
+	}
+	// Guard against the generator drifting into configurations that never
+	// exercise the recovery machinery.
+	if commits < 200 {
+		t.Errorf("only %d checkpoint commits across %d fault campaigns; harness coverage degraded", commits, cases)
+	}
+	if drains < 20 {
+		t.Errorf("only %d checkpoint drains; harness coverage degraded", drains)
+	}
+	if losses < 5 {
+		t.Errorf("only %d checkpoint losses; harness coverage degraded", losses)
+	}
+	if restarts < 20 {
+		t.Errorf("only %d checkpoint restarts; harness coverage degraded", restarts)
+	}
+}
+
 // TestCheckDetectsTampering makes sure Check is a tripwire, not a
 // tautology: corrupting any of the quantities it validates must produce a
 // violation.
@@ -144,6 +204,116 @@ func TestCheckDetectsTampering(t *testing.T) {
 	origMakespan := res.Makespan
 	tamper("shifted makespan", func() { res.Makespan *= 1.5 })
 	res.Makespan = origMakespan
+
+	if v := Check(c.Platform, c.Workflow, res); len(v) != 0 {
+		t.Fatalf("restored run still reports violations: %v", v)
+	}
+}
+
+// TestCheckDetectsCkptTampering extends the tripwire test to the
+// checkpoint invariants: corrupting the checkpoint tallies, a restart's
+// recorded progress, or the durability of its source replica must all be
+// caught by Check.
+func TestCheckDetectsCkptTampering(t *testing.T) {
+	// Scan seeds deterministically for a fault campaign that actually
+	// restarted from a checkpoint, so every tamper target exists.
+	var (
+		c   Case
+		res *core.Result
+	)
+	for seed := int64(1); ; seed++ {
+		if seed > 100 {
+			t.Fatal("no CkptCase seed in 1..100 produced a checkpoint restart")
+		}
+		cc, err := CkptCase(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := core.NewSimulator(cc.Platform)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := sim.Run(cc.Workflow, cc.Opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fo, err := cc.FaultOptions(base.Makespan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err = core.NewSimulator(cc.Platform)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr, err := sim.Run(cc.Workflow, fo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fr.Faults.CkptRestarts > 0 {
+			c, res = cc, fr
+			break
+		}
+	}
+	if v := Check(c.Platform, c.Workflow, res); len(v) != 0 {
+		t.Fatalf("clean run reported violations: %v", v)
+	}
+
+	tamper := func(name string, mutate func()) {
+		t.Helper()
+		mutate()
+		if v := Check(c.Platform, c.Workflow, res); len(v) == 0 {
+			t.Errorf("%s: tampering went undetected", name)
+		}
+	}
+	findCounter := func(family string) *metrics.Sample {
+		t.Helper()
+		for i := range res.Metrics.Counters {
+			if res.Metrics.Counters[i].Family == family {
+				return &res.Metrics.Counters[i]
+			}
+		}
+		t.Fatalf("snapshot has no %s counter", family)
+		return nil
+	}
+
+	commits := findCounter(metrics.CkptCommitsTotal)
+	orig := commits.Value
+	tamper("inflated ckpt_commits_total", func() { commits.Value += 1 })
+	commits.Value = orig
+
+	recovered := findCounter(metrics.CkptRecoveredSecondsTotal)
+	orig = recovered.Value
+	tamper("skewed ckpt_recovered_seconds_total", func() { recovered.Value += 0.5 })
+	recovered.Value = orig
+
+	events := res.Trace.Events()
+	restart := -1
+	for i := range events {
+		if events[i].Kind == trace.RestartFrom {
+			restart = i
+			break
+		}
+	}
+	if restart < 0 {
+		t.Fatal("fault run has no restart-from event")
+	}
+	origDetail := events[restart].Detail
+
+	// Claim the restart recovered more compute than the task ever lost.
+	file, svc, _, ok := parseCkptDetail(origDetail)
+	if !ok {
+		t.Fatalf("unparseable restart detail %q", origDetail)
+	}
+	tamper("inflated restart progress", func() {
+		events[restart].Detail = fmt.Sprintf("%s@%s p=%g", file, svc, 1e9)
+	})
+	events[restart].Detail = origDetail
+
+	// Claim the restart read a replica that was never committed anywhere.
+	tamper("restart from never-committed snapshot", func() {
+		events[restart].Detail = fmt.Sprintf("ckpt-ghost-000000@%s p=%g", svc, 0.0)
+	})
+	events[restart].Detail = origDetail
 
 	if v := Check(c.Platform, c.Workflow, res); len(v) != 0 {
 		t.Fatalf("restored run still reports violations: %v", v)

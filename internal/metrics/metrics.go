@@ -66,6 +66,31 @@ const (
 	FaultFallbacksTotal      = "fault_fallbacks_total"
 	FaultDegradeWindowsTotal = "fault_degrade_windows_total"
 
+	// Task-level checkpoint/restart families (internal/ckpt policy).
+	// CkptBytesTotal counts checkpoint bytes moved, labeled by tier and op
+	// (write = commits and drain copies, read = restores and drain
+	// sources). A strict subset of StorageBytesTotal: checkpoint I/O flows
+	// through the same storage manager as workflow I/O.
+	CkptBytesTotal = "ckpt_bytes_total"
+	// CkptOverheadSecondsTotal sums the virtual time tasks spent blocked on
+	// checkpoint commits (op write) and restore reads (op read), by tier.
+	CkptOverheadSecondsTotal = "ckpt_overhead_seconds_total"
+	// CkptRecoveredSecondsTotal sums the compute seconds restarts recovered
+	// from checkpoints instead of re-executing, by the tier restored from.
+	CkptRecoveredSecondsTotal = "ckpt_recovered_seconds_total"
+	// ComputeExecutedSecondsTotal sums the compute seconds actually
+	// executed per task category — completed segments plus the in-flight
+	// portion of aborted ones, minus checkpoint-recovered time. On a
+	// fault-free run it equals the compute phase total; under faults the
+	// excess over the fault-free value is the re-executed compute.
+	ComputeExecutedSecondsTotal = "compute_executed_seconds_total"
+	// Checkpoint event tallies, folded in from the trace like the fault
+	// families (always emitted, zero without a checkpoint policy).
+	CkptCommitsTotal  = "ckpt_commits_total"
+	CkptDrainsTotal   = "ckpt_drains_total"
+	CkptLossesTotal   = "ckpt_losses_total"
+	CkptRestartsTotal = "ckpt_restarts_total"
+
 	// MakespanSeconds is the run's makespan (gauge; campaign merges keep
 	// the maximum).
 	MakespanSeconds = "makespan_seconds"

@@ -57,6 +57,30 @@ const (
 	DegradeEnd   EventKind = "degrade-end"
 )
 
+// Task-level checkpoint/restart event kinds (internal/ckpt policy, exec
+// engine). Runs without a checkpoint policy never contain them.
+const (
+	// CkptBegin records a task starting a checkpoint write; the detail is
+	// "file@service".
+	CkptBegin EventKind = "ckpt-begin"
+	// CkptCommit records a completed checkpoint: the snapshot is readable
+	// from its target tier. The detail is "file@service p=<progress>",
+	// where progress is the compute seconds the snapshot captures.
+	CkptCommit EventKind = "ckpt-commit"
+	// CkptDrain records an asynchronous BB→PFS drain copy completing; the
+	// checkpoint is durable against node loss from this instant. The detail
+	// is "file@service->pfs".
+	CkptDrain EventKind = "ckpt-drain"
+	// CkptLost records a checkpoint replica destroyed by a fault (a node
+	// failure taking its burst buffer down); the detail is "file@service".
+	CkptLost EventKind = "ckpt-lost"
+	// RestartFrom records a retried task resuming from a surviving
+	// checkpoint instead of recomputing from scratch. The detail mirrors
+	// CkptCommit: "file@service p=<progress>", the compute seconds
+	// recovered.
+	RestartFrom EventKind = "restart-from"
+)
+
 // Event is one time-stamped occurrence.
 type Event struct {
 	Time   float64   `json:"time"`
