@@ -31,6 +31,7 @@ import (
 	"strconv"
 	"testing"
 
+	"bbwfsim/internal/analysis"
 	"bbwfsim/internal/core"
 	"bbwfsim/internal/experiments"
 	"bbwfsim/internal/flow"
@@ -177,6 +178,23 @@ func runSuite() (*Snapshot, error) {
 			e.Run()
 			if done != 4*nodes {
 				b.Fatalf("completed %d of %d flows", done, 4*nodes)
+			}
+		}
+	})
+
+	// --- static-analysis wall clock: a full module load plus the 12-rule
+	// suite (call graph included). bbvet gates every CI run, so its own
+	// cost is part of the repo's perf budget; the run doubles as a "module
+	// is bbvet-clean" assertion from a second binary.
+	record("analysis/bbvet-module", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pkgs, err := analysis.LoadModule(".")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if findings := analysis.Run(pkgs, analysis.Rules()); len(findings) > 0 {
+				b.Fatalf("module not bbvet-clean: %d finding(s)", len(findings))
 			}
 		}
 	})

@@ -3,8 +3,11 @@
 //
 // Usage:
 //
-//	go run ./cmd/bbvet ./...     # analyze the module, exit 1 on findings
-//	go run ./cmd/bbvet -rules    # list the rules and what they enforce
+//	go run ./cmd/bbvet ./...                  # analyze the module, exit 1 on findings
+//	go run ./cmd/bbvet -list                  # list the rules and what they enforce
+//	go run ./cmd/bbvet -json ./...            # findings as JSON (for the CI artifact)
+//	go run ./cmd/bbvet -rules no-walltime,seeded-rand-only ./...
+//	go run ./cmd/bbvet -graph                 # dump the module call graph and exit
 //
 // Findings print in vet format, file:line: [rule] message. Suppress a
 // finding with a justified directive on the offending line or the line
@@ -13,6 +16,10 @@
 //	//bbvet:allow <rule> -- <justification>
 //	//bbvet:ordered -- <justification>     (map iteration only)
 //
+// Note that the stale-directive audit only runs with the full rule set: a
+// -rules filter cannot tell an unused suppression from one whose rule was
+// simply filtered out.
+//
 // bbvet always analyzes the module enclosing the working directory as a
 // whole; package patterns beyond ./... are not supported.
 package main
@@ -20,6 +27,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -27,45 +35,89 @@ import (
 )
 
 func main() {
-	var (
-		rules = flag.Bool("rules", false, "list the rule set and exit")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if *rules {
-		for _, r := range analysis.Rules() {
-			fmt.Printf("%-24s %s\n", r.Name, r.Doc)
-		}
-		return
+// run is main minus the process exit, so the CLI surface is testable
+// in-process: 0 clean, 1 findings, 2 usage or load errors.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bbvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		list     = fs.Bool("list", false, "list the rule set and exit")
+		jsonOut  = fs.Bool("json", false, "print findings as JSON instead of vet format")
+		graph    = fs.Bool("graph", false, "dump the module call graph as 'caller -> callee (kind)' lines and exit")
+		ruleList = fs.String("rules", "", "comma-separated rule names to run (default: all)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	for _, arg := range flag.Args() {
+
+	if *list {
+		for _, r := range analysis.Rules() {
+			fmt.Fprintf(stdout, "%-24s %s\n", r.Name, r.Doc)
+		}
+		return 0
+	}
+	rules, err := analysis.SelectRules(*ruleList)
+	if err != nil {
+		fmt.Fprintf(stderr, "bbvet: %v\n", err)
+		return 2
+	}
+	for _, arg := range fs.Args() {
 		if arg != "./..." && arg != "." {
-			fmt.Fprintf(os.Stderr, "bbvet: unsupported pattern %q: bbvet analyzes the enclosing module as a whole (use ./...)\n", arg)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "bbvet: unsupported pattern %q: bbvet analyzes the enclosing module as a whole (use ./...)\n", arg)
+			return 2
 		}
 	}
 
 	cwd, err := os.Getwd()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "bbvet: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "bbvet: %v\n", err)
+		return 2
 	}
 	pkgs, err := analysis.LoadModule(cwd)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "bbvet: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "bbvet: %v\n", err)
+		return 2
 	}
-	findings := analysis.Run(pkgs, analysis.Rules())
-	for _, f := range findings {
+
+	if *graph {
+		var nonTest []*analysis.Package
+		for _, pkg := range pkgs {
+			if !pkg.Test {
+				nonTest = append(nonTest, pkg)
+			}
+		}
+		for _, line := range analysis.BuildCallGraph(nonTest).EdgeList() {
+			fmt.Fprintln(stdout, line)
+		}
+		return 0
+	}
+
+	findings := analysis.Run(pkgs, rules)
+	for i := range findings {
 		// Relative paths keep the output stable across checkouts and
 		// clickable from the module root.
-		if rel, err := filepath.Rel(cwd, f.Pos.Filename); err == nil && !filepath.IsAbs(rel) {
-			f.Pos.Filename = rel
+		if rel, err := filepath.Rel(cwd, findings[i].Pos.Filename); err == nil && !filepath.IsAbs(rel) {
+			findings[i].Pos.Filename = rel
 		}
-		fmt.Println(f)
+	}
+	if *jsonOut {
+		data, err := analysis.MarshalFindings(findings)
+		if err != nil {
+			fmt.Fprintf(stderr, "bbvet: %v\n", err)
+			return 2
+		}
+		fmt.Fprintln(stdout, string(data))
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "bbvet: %d finding(s)\n", len(findings))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "bbvet: %d finding(s)\n", len(findings))
+		return 1
 	}
+	return 0
 }

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestListFlag checks -list prints every rule with its doc.
+func TestListFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("run(-list) = %d, want 0 (stderr: %s)", code, errOut.String())
+	}
+	for _, name := range []string{
+		"no-walltime", "determinism-taint", "unstable-sort",
+		"global-mutable-state", "stale-directive",
+	} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing rule %q", name)
+		}
+	}
+}
+
+// TestUnknownRuleFilter checks a typo in -rules is a hard usage error, not
+// a silently empty run.
+func TestUnknownRuleFilter(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-rules", "no-such-rule", "./..."}, &out, &errOut); code != 2 {
+		t.Fatalf("run(-rules no-such-rule) = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown rule") {
+		t.Errorf("stderr = %q, want an unknown-rule error", errOut.String())
+	}
+}
+
+// TestUnsupportedPattern pins the module-only contract.
+func TestUnsupportedPattern(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"./internal/sim"}, &out, &errOut); code != 2 {
+		t.Fatalf("run(./internal/sim) = %d, want 2", code)
+	}
+}
+
+// TestJSONCleanModule runs the full suite over the repository with -json:
+// the tree must be clean, and a clean tree marshals to an empty JSON array
+// (never null), so the CI artifact is stable.
+func TestJSONCleanModule(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-json", "./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("run(-json ./...) = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	var findings []map[string]any
+	if err := json.Unmarshal([]byte(out.String()), &findings); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, out.String())
+	}
+	if findings == nil {
+		t.Fatalf("clean run marshaled to null, want []")
+	}
+	if len(findings) != 0 {
+		t.Errorf("repo not clean under -json: %v", findings)
+	}
+}
+
+// TestGraphDump checks -graph emits the call-graph edge list, including a
+// known interprocedural edge the taint pass depends on.
+func TestGraphDump(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-graph"}, &out, &errOut); code != 0 {
+		t.Fatalf("run(-graph) = %d, want 0 (stderr: %s)", code, errOut.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) < 100 {
+		t.Fatalf("graph dump has %d edges; the module graph should be far larger", len(lines))
+	}
+	const wantEdge = "bbwfsim/internal/runner.Map -> bbwfsim/internal/runner.Jobs (call)"
+	if !strings.Contains(out.String(), wantEdge) {
+		t.Errorf("graph dump missing edge %q", wantEdge)
+	}
+	// The dump must be sorted (bit-identical across runs).
+	for i := 1; i < len(lines); i++ {
+		if lines[i] < lines[i-1] {
+			t.Fatalf("graph dump not sorted at line %d: %q < %q", i, lines[i], lines[i-1])
+		}
+	}
+}

@@ -28,6 +28,8 @@ import (
 	"go/types"
 	"path"
 	"sort"
+
+	"bbwfsim/internal/runner"
 )
 
 // A Finding is one rule violation at a source position.
@@ -90,17 +92,56 @@ func (p *Pass) Inspect(fn func(ast.Node) bool) {
 	}
 }
 
-// A Rule is one check in the suite.
+// A Rule is one check in the suite. Package rules (Run) see one package
+// at a time; module rules (RunModule) see the whole load plus the call
+// graph, which is what makes interprocedural analysis expressible. A rule
+// sets exactly one of the two.
 type Rule struct {
 	Name string
 	Doc  string
-	// AppliesTo gates the rule by package import path; nil means the whole
-	// module.
+	// AppliesTo gates a package rule by import path; nil means the whole
+	// module. Module rules ignore it.
 	AppliesTo func(pkgPath string) bool
 	Run       func(*Pass)
+	// RunModule runs once over the whole load, after every package pass.
+	RunModule func(*ModulePass)
+	// Tests opts the package rule into _test.go files of the packages the
+	// loader analyzes tests for (deterministic packages): integration and
+	// invariant tests assert bit-identical replay, so they must not read
+	// the clock or the global rand stream either.
+	Tests bool
 }
 
-// Rules returns the full bbvet rule set, in stable order.
+// A ModulePass carries the whole load through a module rule.
+type ModulePass struct {
+	// Pkgs are the non-test packages, sorted by import path.
+	Pkgs []*Package
+	// Graph is the module call graph over Pkgs.
+	Graph *CallGraph
+
+	directives *directiveSet // merged across every package, test files included
+	findings   *[]Finding
+	// complete is true when the full rule set is running; audit rules that
+	// reason about what every other rule did (stale-directive) only fire
+	// then.
+	complete bool
+}
+
+// Reportf records a module-rule finding unless a matching //bbvet:allow
+// directive covers its line.
+func (mp *ModulePass) Reportf(pos token.Position, rule, format string, args ...any) {
+	if mp.directives.allows(pos, rule) {
+		return
+	}
+	*mp.findings = append(*mp.findings, Finding{
+		Pos:     pos,
+		Rule:    rule,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Rules returns the full bbvet rule set, in stable order. stale-directive
+// must come last: it audits the suppressions every other rule consumed.
 func Rules() []Rule {
 	return []Rule{
 		noWalltimeRule(),
@@ -111,6 +152,10 @@ func Rules() []Rule {
 		floatCompareRule(),
 		uncheckedErrorRule(),
 		metricsVirtualTimeRule(),
+		determinismTaintRule(),
+		unstableSortRule(),
+		globalMutableStateRule(),
+		staleDirectiveRule(),
 	}
 }
 
@@ -153,11 +198,14 @@ var simPackages = map[string]bool{
 var kernelPackages = map[string]bool{"sim": true, "flow": true, "exec": true, "ckpt": true}
 
 // deterministicOutputPackages additionally covers packages whose output is
-// asserted bit-identical across runs (experiment tables, traces).
+// asserted bit-identical across runs (experiment tables, traces), and the
+// end-to-end integration tests, which exist only as test files but assert
+// exactly those bit-identity contracts.
 var deterministicOutputPackages = map[string]bool{
 	"experiments": true, "trace": true, "wfcommons": true,
 	"swarp": true, "genomes": true, "workloads": true,
 	"checkpoint": true, "workflow": true, "stats": true,
+	"integration": true,
 }
 
 // emitterPackages write CSV/JSON artifacts whose I/O errors must not be
@@ -185,13 +233,23 @@ func isEmitterPackage(pkgPath string) bool {
 }
 
 // Run executes every rule over every package and returns the surviving
-// findings sorted by position. Malformed and unused directives are reported
-// as findings under the pseudo-rule "directive".
+// findings sorted by position. Malformed directives are reported under the
+// pseudo-rule "directive"; directives that suppress nothing are the
+// stale-directive rule's findings.
+//
+// The per-package passes are independent, so they fan out across worker
+// goroutines via internal/runner; results merge by submission index and
+// the final sort is total (file, line, rule, message), so the output is
+// bit-identical at any parallelism. Module rules then run serially over
+// the merged state: first the call-graph passes, last the directive audit.
 func Run(pkgs []*Package, rules []Rule) []Finding {
-	var findings []Finding
-	for _, pkg := range pkgs {
-		dirs, dirFindings := collectDirectives(pkg.Fset, pkg.Files)
-		findings = append(findings, dirFindings...)
+	type pkgOut struct {
+		findings []Finding
+		dirs     *directiveSet
+	}
+	outs, err := runner.Map(0, len(pkgs), func(i int) (pkgOut, error) {
+		pkg := pkgs[i]
+		dirs, findings := collectDirectives(pkg.Fset, pkg.Files)
 		pass := &Pass{
 			Fset:       pkg.Fset,
 			Path:       pkg.Path,
@@ -202,13 +260,55 @@ func Run(pkgs []*Package, rules []Rule) []Finding {
 			findings:   &findings,
 		}
 		for _, rule := range rules {
+			if rule.Run == nil {
+				continue
+			}
+			if pkg.Test && !rule.Tests {
+				continue
+			}
 			if rule.AppliesTo != nil && !rule.AppliesTo(pkg.Path) {
 				continue
 			}
 			rule.Run(pass)
 		}
-		findings = append(findings, dirs.unused()...)
+		return pkgOut{findings, dirs}, nil
+	})
+	if err != nil {
+		// The point function never errors; a panic propagates as itself.
+		panic(err)
 	}
+	var findings []Finding
+	merged := newDirectiveSet()
+	for _, o := range outs {
+		findings = append(findings, o.findings...)
+		merged.merge(o.dirs)
+	}
+
+	var moduleRules []Rule
+	for _, rule := range rules {
+		if rule.RunModule != nil {
+			moduleRules = append(moduleRules, rule)
+		}
+	}
+	if len(moduleRules) > 0 {
+		var nonTest []*Package
+		for _, pkg := range pkgs {
+			if !pkg.Test {
+				nonTest = append(nonTest, pkg)
+			}
+		}
+		mp := &ModulePass{
+			Pkgs:       nonTest,
+			Graph:      BuildCallGraph(nonTest),
+			directives: merged,
+			findings:   &findings,
+			complete:   hasFullRuleSet(rules),
+		}
+		for _, rule := range moduleRules {
+			rule.RunModule(mp)
+		}
+	}
+
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i].Pos, findings[j].Pos
 		if a.Filename != b.Filename {
@@ -217,7 +317,26 @@ func Run(pkgs []*Package, rules []Rule) []Finding {
 		if a.Line != b.Line {
 			return a.Line < b.Line
 		}
-		return findings[i].Rule < findings[j].Rule
+		if findings[i].Rule != findings[j].Rule {
+			return findings[i].Rule < findings[j].Rule
+		}
+		return findings[i].Message < findings[j].Message
 	})
 	return findings
+}
+
+// hasFullRuleSet reports whether rules is the complete suite (by name), in
+// which case audit rules that reason about every other rule's behavior may
+// fire.
+func hasFullRuleSet(rules []Rule) bool {
+	have := make(map[string]bool, len(rules))
+	for _, r := range rules {
+		have[r.Name] = true
+	}
+	for _, name := range RuleNames() {
+		if !have[name] {
+			return false
+		}
+	}
+	return true
 }

@@ -27,11 +27,11 @@ func TestFixtures(t *testing.T) {
 			dir := filepath.Join("testdata", "src", d.Name())
 			// Fixture packages stand in for real module packages: the
 			// directory name selects which package-scoped rules apply.
-			pkg, err := LoadDir(dir, "bbwfsim/internal/"+d.Name())
+			pkgs, err := LoadDir(dir, "bbwfsim/internal/"+d.Name())
 			if err != nil {
 				t.Fatalf("loading fixture: %v", err)
 			}
-			findings := Run([]*Package{pkg}, Rules())
+			findings := Run(pkgs, Rules())
 			wants, err := collectWants(dir)
 			if err != nil {
 				t.Fatal(err)
@@ -68,6 +68,38 @@ func TestBBVetRepoClean(t *testing.T) {
 	}
 }
 
+// TestRunBitIdentical pins the parallel fan-out contract: the per-package
+// passes run on a worker pool, so repeated runs see different goroutine
+// interleavings, yet the merged, totally-sorted findings must be
+// byte-for-byte identical — the analyzer honors the determinism contract
+// it enforces.
+func TestRunBitIdentical(t *testing.T) {
+	var load []*Package
+	for _, name := range []string{"exec", "sim", "stats", "directives"} {
+		pkgs, err := LoadDir(filepath.Join("testdata", "src", name), "bbwfsim/internal/"+name)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", name, err)
+		}
+		load = append(load, pkgs...)
+	}
+	render := func(fs []Finding) string {
+		var sb strings.Builder
+		for _, f := range fs {
+			fmt.Fprintln(&sb, f)
+		}
+		return sb.String()
+	}
+	first := render(Run(load, Rules()))
+	if first == "" {
+		t.Fatal("fixture load produced no findings; the comparison is vacuous")
+	}
+	for i := 0; i < 5; i++ {
+		if got := render(Run(load, Rules())); got != first {
+			t.Fatalf("run %d diverged:\n--- first ---\n%s--- got ---\n%s", i+2, first, got)
+		}
+	}
+}
+
 // TestSplitDirective pins the directive grammar.
 func TestSplitDirective(t *testing.T) {
 	cases := []struct {
@@ -93,6 +125,7 @@ func TestRuleNamesStable(t *testing.T) {
 		"no-walltime", "seeded-rand-only", "ordered-map-iteration",
 		"no-goroutines-in-kernel", "runner-isolation", "float-compare", "unchecked-error",
 		"metrics-virtual-time",
+		"determinism-taint", "unstable-sort", "global-mutable-state", "stale-directive",
 	}
 	got := RuleNames()
 	if len(got) != len(want) {

@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// loadSrc type-checks one in-memory file as a module package, the way
+// LoadModule would.
+func loadSrc(t *testing.T, path, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &Package{Path: path, Dir: ".", Fset: fset, Files: []*ast.File{f}}
+	imp, err := newModuleImporter(fset, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := check(fset, pkg, imp); err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+// TestCallGraphEdges pins the graph construction cases the taint pass
+// depends on: direct calls, mutual recursion (cycles), method values,
+// closure attribution, function references, and interface dispatch to
+// every implementing type.
+func TestCallGraphEdges(t *testing.T) {
+	pkg := loadSrc(t, "bbwfsim/internal/cg", `
+package cg
+
+type stepper interface{ Step() int }
+
+type alpha struct{}
+
+func (alpha) Step() int { return 1 }
+
+type beta struct{}
+
+func (*beta) Step() int { return 2 }
+
+// drive calls through the interface: dispatch edges to both impls.
+func drive(s stepper) int { return s.Step() }
+
+// ping and pong form a cycle; each body also self-recurses via the other.
+func ping(n int) int {
+	if n == 0 {
+		return 0
+	}
+	return pong(n - 1)
+}
+
+func pong(n int) int {
+	if n == 0 {
+		return 0
+	}
+	return ping(n - 1)
+}
+
+// methodValue lets a method escape as a value: a ref edge.
+func methodValue() func() int {
+	var a alpha
+	f := a.Step
+	return f
+}
+
+// closureCaller calls ping only inside a closure; the edge belongs to the
+// declaring function. The g() invocation itself resolves to no module
+// function (it is a variable), so no self-edge appears.
+func closureCaller() int {
+	g := func() int { return ping(3) }
+	return g()
+}
+
+// passRef passes a function as an argument: a call edge to apply and a ref
+// edge to pong.
+func passRef() { apply(pong) }
+
+func apply(f func(int) int) { _ = f(2) }
+`)
+	g := BuildCallGraph([]*Package{pkg})
+	want := []string{
+		"bbwfsim/internal/cg.closureCaller -> bbwfsim/internal/cg.ping (call)",
+		"bbwfsim/internal/cg.drive -> bbwfsim/internal/cg.(*beta).Step (dispatch)",
+		"bbwfsim/internal/cg.drive -> bbwfsim/internal/cg.(alpha).Step (dispatch)",
+		"bbwfsim/internal/cg.methodValue -> bbwfsim/internal/cg.(alpha).Step (ref)",
+		"bbwfsim/internal/cg.passRef -> bbwfsim/internal/cg.apply (call)",
+		"bbwfsim/internal/cg.passRef -> bbwfsim/internal/cg.pong (ref)",
+		"bbwfsim/internal/cg.ping -> bbwfsim/internal/cg.pong (call)",
+		"bbwfsim/internal/cg.pong -> bbwfsim/internal/cg.ping (call)",
+	}
+	if got := g.EdgeList(); !reflect.DeepEqual(got, want) {
+		t.Errorf("EdgeList() mismatch:\n got: %s\nwant: %s",
+			strings.Join(got, "\n      "), strings.Join(want, "\n      "))
+	}
+}
+
+// TestTaintThroughCycle pins the interprocedural pass end to end at the
+// unit level: a wall-clock read two calls deep, behind a call cycle, is
+// reported at the source with the shortest sink→source chain, and the BFS
+// terminates despite the cycle.
+func TestTaintThroughCycle(t *testing.T) {
+	pkg := loadSrc(t, "bbwfsim/internal/exec", `
+package exec
+
+import "time"
+
+func Run() int { return ping(4) }
+
+func ping(n int) int {
+	if n == 0 {
+		return stamp()
+	}
+	return pong(n - 1)
+}
+
+func pong(n int) int { return ping(n) }
+
+func stamp() int { return int(time.Now().Unix()) }
+`)
+	findings := Run([]*Package{pkg}, Rules())
+	var taint []string
+	for _, f := range findings {
+		if f.Rule == "determinism-taint" {
+			taint = append(taint, f.Message)
+		}
+	}
+	if len(taint) != 1 {
+		t.Fatalf("got %d determinism-taint findings, want 1: %v", len(taint), taint)
+	}
+	const wantChain = "exec.Run calls exec.ping calls exec.stamp, which reads time.Now"
+	if !strings.HasPrefix(taint[0], wantChain) {
+		t.Errorf("taint chain = %q, want prefix %q", taint[0], wantChain)
+	}
+}

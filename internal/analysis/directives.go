@@ -44,14 +44,30 @@ type directiveSet struct {
 	orderedAt map[lineKey]*orderedDirective
 }
 
+func newDirectiveSet() *directiveSet {
+	return &directiveSet{
+		allowAt:   make(map[lineKey][]*allowDirective),
+		orderedAt: make(map[lineKey]*orderedDirective),
+	}
+}
+
+// merge folds another package's directives into s. The directive values
+// are shared (not copied), so a use recorded through either set — package
+// pass or module pass — is visible to the final staleness audit.
+func (s *directiveSet) merge(o *directiveSet) {
+	for k, ds := range o.allowAt {
+		s.allowAt[k] = append(s.allowAt[k], ds...)
+	}
+	for k, d := range o.orderedAt {
+		s.orderedAt[k] = d
+	}
+}
+
 // collectDirectives scans every comment in the package for bbvet
 // directives, returning the suppression set plus findings for malformed
 // directives (unknown kind, unknown rule, missing justification).
 func collectDirectives(fset *token.FileSet, files []*ast.File) (*directiveSet, []Finding) {
-	set := &directiveSet{
-		allowAt:   make(map[lineKey][]*allowDirective),
-		orderedAt: make(map[lineKey]*orderedDirective),
-	}
+	set := newDirectiveSet()
 	var findings []Finding
 	malformed := func(pos token.Position, format string, args ...any) {
 		findings = append(findings, Finding{Pos: pos, Rule: directiveRule, Message: fmt.Sprintf(format, args...)})

@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+)
+
+// globalMutableStateRule guards the "a run owns its state privately"
+// contract from a direction the kernel-purity and runner-isolation rules
+// cannot see: a package-level variable in a simulation package that is
+// written outside init. Such a variable couples runs to each other — the
+// second run of a campaign observes what the first one left behind, so
+// results stop being a pure function of the run's inputs, and under the
+// parallel campaign runner the write is a data race on top. Read-only
+// package-level tables (bucket boundaries, preset orders) are fine: only
+// writes outside init are flagged.
+//
+// The rule is module-wide but keys on where the variable is *declared*:
+// an experiment or cmd helper mutating an exported simulation-package
+// variable is exactly as dangerous as the simulation package doing it
+// itself.
+func globalMutableStateRule() Rule {
+	return Rule{
+		Name: "global-mutable-state",
+		Doc: "forbid writes outside init to package-level variables declared in simulation " +
+			"packages; shared mutable state couples runs to each other and races under the " +
+			"campaign runner — thread state through the engine or run configuration instead",
+		Run: func(p *Pass) {
+			for _, file := range p.Files {
+				for _, decl := range file.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					if fd.Recv == nil && fd.Name.Name == "init" {
+						continue // initialization is the sanctioned write window
+					}
+					ast.Inspect(fd.Body, func(n ast.Node) bool {
+						switch n := n.(type) {
+						case *ast.AssignStmt:
+							for _, lhs := range n.Lhs {
+								checkGlobalWrite(p, lhs)
+							}
+						case *ast.IncDecStmt:
+							checkGlobalWrite(p, n.X)
+						}
+						return true
+					})
+				}
+			}
+		},
+	}
+}
+
+// checkGlobalWrite reports lhs if its root identifier is a package-level
+// variable declared in a simulation package.
+func checkGlobalWrite(p *Pass, lhs ast.Expr) {
+	id := rootIdent(lhs)
+	if id == nil {
+		return
+	}
+	v, ok := p.Info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return
+	}
+	if v.Parent() != v.Pkg().Scope() {
+		return // local, field via value, or parameter — not package state
+	}
+	if !simPackages[path.Base(v.Pkg().Path())] {
+		return
+	}
+	p.Reportf(lhs.Pos(), "global-mutable-state",
+		"write to package-level variable %s of simulation package %s outside init; "+
+			"shared mutable state couples runs and races under the campaign runner — "+
+			"own it in the run's engine or configuration", v.Name(), path.Base(v.Pkg().Path()))
+}
+
+// rootIdent unwraps selector/index/star/paren chains to the base
+// identifier of an assignable expression, or nil (e.g. for writes through
+// a call result, which do not name package state directly).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

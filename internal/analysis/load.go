@@ -13,23 +13,39 @@ import (
 	"strings"
 )
 
-// A Package is one parsed and type-checked package of the module.
+// A Package is one parsed and type-checked package of the module. For a
+// test package (Test == true), Files holds only the _test.go files — the
+// rule passes must not re-report the non-test files it was checked
+// alongside — while Info and Pkg cover the combined compilation.
 type Package struct {
-	Path  string // import path
+	Path  string // import path (test packages share their base package's path)
 	Dir   string
 	Fset  *token.FileSet
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+	// Test marks the _test.go view of a package; only rules that opt in
+	// via Rule.Tests run over it, and it never joins the call graph.
+	Test bool
+
+	// Parsed test files awaiting the second type-check phase: same-package
+	// (package foo) and external (package foo_test).
+	testFiles    []*ast.File
+	extTestFiles []*ast.File
 }
 
-// LoadModule parses and type-checks every non-test package under the
-// module rooted at or above dir, using only the standard library: the
-// module layout is discovered by walking the tree (the module has no
-// external dependencies, so import paths map 1:1 onto directories), and
-// standard-library imports are type-checked from source via go/importer.
-// Test files are excluded: the rule set governs simulation code, and
-// tests legitimately use wall time, ad-hoc randomness, and goroutines.
+// LoadModule parses and type-checks every package under the module rooted
+// at or above dir, using only the standard library: the module layout is
+// discovered by walking the tree (the module has no external dependencies,
+// so import paths map 1:1 onto directories), and standard-library imports
+// are type-checked from source via go/importer.
+//
+// Test files are analyzed only for the deterministic packages (the ones
+// whose tests assert bit-identical replay, so wall time and unseeded
+// randomness are as unwelcome there as in the simulation itself); they
+// surface as additional Test packages after the non-test packages. Test
+// files elsewhere — CLI glue, the analyzer's own tests — legitimately use
+// wall time, ad-hoc randomness, and goroutines, and stay excluded.
 func LoadModule(dir string) ([]*Package, error) {
 	root, modPath, err := findModule(dir)
 	if err != nil {
@@ -70,14 +86,16 @@ func LoadModule(dir string) ([]*Package, error) {
 
 // LoadDir parses and type-checks the single package in dir as if it had
 // the given import path. Used by the fixture tests, whose testdata
-// packages stand in for real module packages.
-func LoadDir(dir, importPath string) (*Package, error) {
+// packages stand in for real module packages. Returns the package plus,
+// when the fixture carries same-package _test.go files and the import
+// path is one whose tests are analyzed, the Test view of it.
+func LoadDir(dir, importPath string) ([]*Package, error) {
 	fset := token.NewFileSet()
 	pkg, err := parseDir(fset, dir, filepath.Dir(dir), "")
 	if err != nil {
 		return nil, err
 	}
-	if pkg == nil {
+	if pkg == nil || len(pkg.Files) == 0 {
 		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
 	}
 	pkg.Path = importPath
@@ -88,7 +106,12 @@ func LoadDir(dir, importPath string) (*Package, error) {
 	if err := check(fset, pkg, imp); err != nil {
 		return nil, err
 	}
-	return pkg, nil
+	pkgs := []*Package{pkg}
+	tests, err := checkTestPackages(fset, pkg, imp)
+	if err != nil {
+		return nil, err
+	}
+	return append(pkgs, tests...), nil
 }
 
 // findModule walks upward from dir to the enclosing go.mod and returns the
@@ -115,33 +138,52 @@ func findModule(dir string) (root, modPath string, err error) {
 	}
 }
 
-// parseDir parses the non-test Go files directly in dir, returning nil if
-// there are none.
+// parseDir parses the Go files directly in dir, returning nil if there are
+// none. Non-test files become the package's Files; _test.go files are
+// collected — for deterministic packages only — into testFiles (package foo)
+// and extTestFiles (package foo_test) for the second type-check phase. A
+// directory holding only test files (the integration suite) still yields a
+// package, with empty Files.
 func parseDir(fset *token.FileSet, dir, root, modPath string) (*Package, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
-	var files []*ast.File
+	importPath := modPath
+	if rel, err := filepath.Rel(root, dir); err == nil && rel != "." {
+		importPath = modPath + "/" + filepath.ToSlash(rel)
+	}
+	withTests := isDeterministicPackage(importPath)
+	var files, testFiles, extTestFiles []*ast.File
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		isTest := strings.HasSuffix(name, "_test.go")
+		if isTest && !withTests {
 			continue
 		}
 		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, err
 		}
-		files = append(files, f)
+		switch {
+		case !isTest:
+			files = append(files, f)
+		case strings.HasSuffix(f.Name.Name, "_test"):
+			extTestFiles = append(extTestFiles, f)
+		default:
+			testFiles = append(testFiles, f)
+		}
 	}
-	if len(files) == 0 {
+	if len(files) == 0 && len(testFiles) == 0 && len(extTestFiles) == 0 {
 		return nil, nil
 	}
-	importPath := modPath
-	if rel, err := filepath.Rel(root, dir); err == nil && rel != "." {
-		importPath = modPath + "/" + filepath.ToSlash(rel)
-	}
-	return &Package{Path: importPath, Dir: dir, Fset: fset, Files: files}, nil
+	return &Package{
+		Path: importPath, Dir: dir, Fset: fset, Files: files,
+		testFiles: testFiles, extTestFiles: extTestFiles,
+	}, nil
 }
 
 // checkAll type-checks the module's packages in dependency order and
@@ -171,6 +213,11 @@ func checkAll(fset *token.FileSet, byPath map[string]*Package, modPath string) (
 				return err
 			}
 		}
+		if len(pkg.Files) == 0 {
+			// Test-only package (the integration suite); nothing imports it,
+			// so it has no base compilation to record. Checked in phase 2.
+			return nil
+		}
 		if err := check(fset, pkg, imp); err != nil {
 			return err
 		}
@@ -189,9 +236,59 @@ func checkAll(fset *token.FileSet, byPath map[string]*Package, modPath string) (
 	}
 	pkgs := make([]*Package, 0, len(paths))
 	for _, p := range paths {
-		pkgs = append(pkgs, byPath[p])
+		if pkg := byPath[p]; len(pkg.Files) > 0 {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	// Phase 2: with every base package in the importer's checked set, the
+	// test compilations of the deterministic packages can resolve their
+	// module-internal imports. Test packages surface after the non-test
+	// packages, in path order, so the load stays deterministic.
+	for _, p := range paths {
+		tests, err := checkTestPackages(fset, byPath[p], imp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, tests...)
 	}
 	return pkgs, nil
+}
+
+// checkTestPackages type-checks pkg's collected _test.go files, if any,
+// and returns the resulting Test packages: the in-package test files are
+// checked alongside the base files (they extend the same package) but the
+// returned view carries only the test files, so rules do not re-report the
+// base compilation; an external foo_test package is checked on its own,
+// keeping the base import path so path-scoped rules still apply.
+func checkTestPackages(fset *token.FileSet, pkg *Package, imp *moduleImporter) ([]*Package, error) {
+	var out []*Package
+	conf := types.Config{Importer: imp}
+	if len(pkg.testFiles) > 0 {
+		files := make([]*ast.File, 0, len(pkg.Files)+len(pkg.testFiles))
+		files = append(files, pkg.Files...)
+		files = append(files, pkg.testFiles...)
+		info := newInfo()
+		tpkg, err := conf.Check(pkg.Path, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: type-checking %s tests: %w", pkg.Path, err)
+		}
+		out = append(out, &Package{
+			Path: pkg.Path, Dir: pkg.Dir, Fset: fset,
+			Files: pkg.testFiles, Pkg: tpkg, Info: info, Test: true,
+		})
+	}
+	if len(pkg.extTestFiles) > 0 {
+		info := newInfo()
+		tpkg, err := conf.Check(pkg.Path+"_test", fset, pkg.extTestFiles, info)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: type-checking %s external tests: %w", pkg.Path, err)
+		}
+		out = append(out, &Package{
+			Path: pkg.Path, Dir: pkg.Dir, Fset: fset,
+			Files: pkg.extTestFiles, Pkg: tpkg, Info: info, Test: true,
+		})
+	}
+	return out, nil
 }
 
 // moduleImports lists pkg's imports that live inside the module.
@@ -292,15 +389,20 @@ func synthMetricsPackage(path string) *types.Package {
 	return pkg
 }
 
-// check type-checks one parsed package, populating pkg.Pkg and pkg.Info.
-func check(fset *token.FileSet, pkg *Package, imp *moduleImporter) error {
-	conf := types.Config{Importer: imp}
-	info := &types.Info{
+// newInfo allocates the types.Info maps every bbvet pass relies on.
+func newInfo() *types.Info {
+	return &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Uses:       make(map[*ast.Ident]types.Object),
 		Defs:       make(map[*ast.Ident]types.Object),
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 	}
+}
+
+// check type-checks one parsed package, populating pkg.Pkg and pkg.Info.
+func check(fset *token.FileSet, pkg *Package, imp *moduleImporter) error {
+	conf := types.Config{Importer: imp}
+	info := newInfo()
 	tpkg, err := conf.Check(pkg.Path, fset, pkg.Files, info)
 	if err != nil {
 		return fmt.Errorf("analysis: type-checking %s: %w", pkg.Path, err)

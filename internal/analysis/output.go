@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// jsonFinding is the machine-readable rendering of one Finding, consumed by
+// the CI artifact upload.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// MarshalFindings renders findings as indented JSON. The input order is
+// preserved (Run already sorts totally), and an empty input yields "[]",
+// so the artifact is bit-identical across equivalent runs.
+func MarshalFindings(findings []Finding) ([]byte, error) {
+	out := make([]jsonFinding, len(findings))
+	for i, f := range findings {
+		out[i] = jsonFinding{File: f.Pos.Filename, Line: f.Pos.Line, Rule: f.Rule, Message: f.Message}
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// SelectRules resolves a comma-separated rule-name filter against the full
+// suite, preserving suite order. An empty filter selects every rule.
+// Unknown names are an error, so a typo cannot silently skip a check.
+func SelectRules(filter string) ([]Rule, error) {
+	all := Rules()
+	if strings.TrimSpace(filter) == "" {
+		return all, nil
+	}
+	wanted := make(map[string]bool)
+	for _, name := range strings.Split(filter, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if !isRuleName(name) {
+			return nil, fmt.Errorf("unknown rule %q (known: %s)", name, strings.Join(RuleNames(), ", "))
+		}
+		wanted[name] = true
+	}
+	var rules []Rule
+	for _, r := range all {
+		if wanted[r.Name] {
+			rules = append(rules, r)
+		}
+	}
+	return rules, nil
+}

@@ -23,6 +23,10 @@ func seededRandRule() Rule {
 		Doc: "forbid the math/rand package-global functions; randomness must flow from an " +
 			"explicit rand.New(rand.NewSource(seed))",
 		// Module-wide: even CLI glue must not introduce unseeded noise.
+		// Test files of deterministic packages are covered too — a seeded
+		// test that also draws from the global stream is only reproducible
+		// until an unrelated test runs first.
+		Tests: true,
 		Run: func(p *Pass) {
 			p.Inspect(func(n ast.Node) bool {
 				sel, ok := n.(*ast.SelectorExpr)

@@ -1,0 +1,33 @@
+package analysis
+
+// staleDirectiveRule closes the audited-justification loop: every
+// //bbvet:allow and //bbvet:ordered in the tree must suppress at least
+// one live finding of the full rule set, or it is reported itself. The
+// suppression ledger therefore cannot rot — when a refactor removes the
+// code a directive excused, the next bbvet run demands the directive be
+// deleted too, and DESIGN.md's inventory of justified exemptions stays
+// exactly the set of directives in the tree.
+//
+// The rule runs after every other rule (package and module passes both
+// mark the directives they consume), and it only runs when the full rule
+// set was selected: under a -rules filter most directives legitimately
+// suppress nothing, because the rule they answer to was not consulted.
+// Its findings are not themselves suppressible — a stale suppression must
+// be deleted, not suppressed harder.
+func staleDirectiveRule() Rule {
+	return Rule{
+		Name: "stale-directive",
+		Doc: "report //bbvet:allow and //bbvet:ordered directives that no longer suppress " +
+			"any finding; a stale suppression must be deleted so the justification ledger " +
+			"cannot rot (inactive under a -rules filter)",
+		RunModule: func(mp *ModulePass) {
+			if !mp.complete {
+				return
+			}
+			for _, f := range mp.directives.unused() {
+				f.Rule = "stale-directive"
+				*mp.findings = append(*mp.findings, f)
+			}
+		},
+	}
+}

@@ -16,7 +16,7 @@ var c = 3
 //bbvet:frobnicate // want `unknown bbvet directive`
 var d = 4
 
-//bbvet:allow no-walltime -- nothing here reads the clock // want `unused`
+//bbvet:allow no-walltime -- nothing here reads the clock // want `\[stale-directive\] unused`
 var e = 5
 
 func seeded() int {

@@ -1,0 +1,23 @@
+// Fixture for the global-mutable-state rule: package-level variables in a
+// simulation package may be written only from init; any later write couples
+// runs to each other and races under the parallel campaign runner.
+package exec
+
+var dispatched int
+var registry = map[string]int{}
+
+func init() {
+	dispatched = 0 // initialization is the sanctioned write window
+}
+
+func bump() {
+	dispatched++          // want `global-mutable-state`
+	registry["swarp"] = 1 // want `global-mutable-state`
+}
+
+// Shadowing and reads are untouched.
+func pure() int {
+	dispatched := 0
+	dispatched++
+	return dispatched + len(registry)
+}

@@ -1,0 +1,36 @@
+// Fixture for the interprocedural determinism-taint rule: exec.Run is a
+// simulation entry point, and a nondeterministic read three calls deep must
+// be reported with the full call chain even though Run's own body is clean.
+package exec
+
+import (
+	"os"
+	"time"
+)
+
+// Run stands in for the task-executor entry point (a taint sink).
+func Run() float64 {
+	return schedule()
+}
+
+func schedule() float64 {
+	return stamp() + float64(tuning())
+}
+
+func stamp() float64 {
+	t := time.Now() // want `no-walltime` `exec.Run calls exec.schedule calls exec.stamp, which reads time.Now`
+	return float64(t.Unix())
+}
+
+func tuning() int {
+	if os.Getenv("BB_FAST") != "" { // want `exec.Run calls exec.schedule calls exec.tuning, which reads host state via os.Getenv`
+		return 1
+	}
+	return 0
+}
+
+// orphan is not reachable from Run, so the taint rule stays silent; the
+// per-package no-walltime rule still sees the direct read.
+func orphan() time.Time {
+	return time.Now() // want `no-walltime`
+}

@@ -1,0 +1,42 @@
+// Fixture for the unstable-sort rule: sort.Slice is unstable, so a bare
+// floating-point comparator leaves the order of equal (or ulp-drifted) keys
+// to the pivot choices of pdqsort — row order stops being a pure function
+// of the data. Stable sorts and explicit tie-breaks are the sanctioned
+// forms.
+package stats
+
+import "sort"
+
+type row struct {
+	id   int
+	cost float64
+}
+
+func badOrder(rows []row) {
+	sort.Slice(rows, func(i, j int) bool { // want `unstable-sort`
+		return rows[i].cost < rows[j].cost
+	})
+}
+
+func stableOrder(rows []row) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		return rows[i].cost < rows[j].cost
+	})
+}
+
+func tieBroken(rows []row) {
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].cost < rows[j].cost {
+			return true
+		}
+		if rows[j].cost < rows[i].cost {
+			return false
+		}
+		return rows[i].id < rows[j].id
+	})
+}
+
+// Integer unique-key comparators cannot tie; not flagged.
+func uniqueKey(rows []row) {
+	sort.Slice(rows, func(i, j int) bool { return rows[i].id < rows[j].id })
+}

@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// unstableSortRule targets the ulp-drift reordering class: sort.Slice is
+// an unstable sort, so whenever two elements compare "equal" their final
+// order is unspecified — it depends on the pdqsort pivot choices, which
+// themselves depend on the input permutation. A comparator that orders by
+// a floating-point key with no tie-break makes row order a function of
+// ulp-level arithmetic drift: two runs that differ by one bit anywhere
+// upstream can legally emit rows in different orders, which breaks the
+// bit-identical-output contract even though every value is "the same".
+//
+// The rule flags sort.Slice calls whose comparator is a single bare
+// `return a < b` (or `>`) on floating-point operands. The fix is either
+// sort.SliceStable (stability substitutes for the missing tie-break, as
+// long as the input order is itself deterministic) or an explicit
+// total-order tie-break chain on a unique key, which is what the repo's
+// own comparators do (compare the float, then fall through to TaskID).
+// Integer and string single-key comparators are not flagged: the repo
+// sorts by unique IDs and indices, where ties cannot arise; that
+// under-approximation is documented in DESIGN.md §5.
+func unstableSortRule() Rule {
+	return Rule{
+		Name: "unstable-sort",
+		Doc: "flag sort.Slice with a bare floating-point comparator and no tie-break in " +
+			"deterministic packages; equal (or ulp-drifted) keys leave element order " +
+			"unspecified — use sort.SliceStable or add a total-order tie-break",
+		AppliesTo: isDeterministicPackage,
+		Run: func(p *Pass) {
+			p.Inspect(func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) != 2 {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Slice" {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok || p.PkgUse(id) != "sort" {
+					return true
+				}
+				lit, ok := ast.Unparen(call.Args[1]).(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				cmp, ok := bareComparison(lit.Body)
+				if !ok {
+					return true
+				}
+				if !isFloat(p.Info.TypeOf(cmp.X)) && !isFloat(p.Info.TypeOf(cmp.Y)) {
+					return true
+				}
+				p.Reportf(call.Pos(), "unstable-sort",
+					"sort.Slice comparator orders by a floating-point key with no tie-break; "+
+						"equal or ulp-drifted keys make row order run-dependent — use "+
+						"sort.SliceStable or fall through to a unique tie-break key")
+				return true
+			})
+		},
+	}
+}
+
+// bareComparison matches a comparator body that is exactly one
+// `return x < y` / `return x > y` statement — the shape with no room for
+// a tie-break.
+func bareComparison(body *ast.BlockStmt) (*ast.BinaryExpr, bool) {
+	if len(body.List) != 1 {
+		return nil, false
+	}
+	ret, ok := body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return nil, false
+	}
+	cmp, ok := ast.Unparen(ret.Results[0]).(*ast.BinaryExpr)
+	if !ok || (cmp.Op != token.LSS && cmp.Op != token.GTR) {
+		return nil, false
+	}
+	return cmp, true
+}

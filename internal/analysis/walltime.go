@@ -21,6 +21,10 @@ func noWalltimeRule() Rule {
 		Doc: "forbid wall-clock reads (time.Now, time.Since, timers) in simulation and " +
 			"experiment packages; simulated results must depend only on virtual time",
 		AppliesTo: isDeterministicPackage,
+		// Test files too: integration and invariant tests assert
+		// bit-identical replay, so a wall-clock read there hides exactly
+		// the flake this rule exists to prevent.
+		Tests: true,
 		Run: func(p *Pass) {
 			p.Inspect(func(n ast.Node) bool {
 				sel, ok := n.(*ast.SelectorExpr)

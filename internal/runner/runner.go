@@ -34,6 +34,7 @@ import (
 // become GOMAXPROCS, everything else passes through.
 func Jobs(j int) int {
 	if j < 1 {
+		//bbvet:allow determinism-taint -- worker count only sets fan-out width; Map merges results by submission index, so outputs are bit-identical at any parallelism
 		return runtime.GOMAXPROCS(0)
 	}
 	return j
