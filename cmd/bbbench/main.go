@@ -1,6 +1,7 @@
 // Command bbbench maintains the repository's performance ledger. It runs a
 // fixed suite of micro-benchmarks (the flow solver's hot paths), macro
-// benchmarks (a full 1000Genomes simulation, a Quick campaign at -j 1 and
+// benchmarks (a full 1000Genomes simulation, a pressured-BB SWarp run with
+// the adaptation layer off and on, a Quick campaign at -j 1 and
 // at -j GOMAXPROCS), and an accuracy guardrail (the Fig. 10 average errors),
 // then writes one BENCH_<n>.json snapshot. Committing a snapshot per
 // performance PR makes the perf trajectory part of the repo's history, and
@@ -31,13 +32,17 @@ import (
 	"strconv"
 	"testing"
 
+	"bbwfsim/internal/adapt"
 	"bbwfsim/internal/analysis"
 	"bbwfsim/internal/core"
 	"bbwfsim/internal/experiments"
 	"bbwfsim/internal/flow"
 	"bbwfsim/internal/genomes"
+	"bbwfsim/internal/placement"
 	"bbwfsim/internal/platform"
 	"bbwfsim/internal/sim"
+	"bbwfsim/internal/swarp"
+	"bbwfsim/internal/units"
 )
 
 // Snapshot is the BENCH_<n>.json schema.
@@ -215,6 +220,34 @@ func runSuite() (*Snapshot, error) {
 			}
 		}
 	})
+
+	// --- adaptation layer on/off: the same pressured-BB SWarp run with the
+	// degradation engine disabled (overflow falls back to the PFS) vs.
+	// enabled (pressure spill, replication, and admission control armed).
+	// The pair prices the adaptation machinery's overhead per run.
+	adWf := swarp.MustNew(swarp.Params{Pipelines: 4, CoresPerTask: 8})
+	adCfg, ok := platform.Presets(2)["cori-private"]
+	if !ok {
+		return nil, fmt.Errorf("platform preset cori-private missing")
+	}
+	adCfg.BB.Capacity = units.Bytes(float64(placement.AllBB(adWf).BBBytes(adWf)) * 0.6)
+	adaptRun := func(pol adapt.Policy) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.MustNewSimulator(adCfg).Run(adWf, core.RunOptions{
+					Placement: placement.AllBB(adWf), BBFallback: true, Adapt: pol,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	record("adapt/swarp-tight-off", adaptRun(adapt.Policy{}))
+	record("adapt/swarp-tight-on", adaptRun(adapt.Policy{
+		SpillHighWater: 0.7, SpillLowWater: 0.35,
+		ReplicateOnFault: true, DegradedFallback: true,
+	}))
 
 	// --- campaign wall-clock: the fig13 Quick sweep at -j 1 vs -j max.
 	fig13, ok := experiments.Find("fig13")

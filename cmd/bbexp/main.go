@@ -120,7 +120,7 @@ func main() {
 	if *metPath != "" {
 		merged := metrics.Merge(snaps)
 		if merged == nil {
-			fmt.Fprintf(os.Stderr, "bbexp: -metrics: none of the selected experiments are instrumented (fig10, fig11, fig13, fig14, resilience, resilience-genomes, resilience-ckpt are)\n")
+			fmt.Fprintf(os.Stderr, "bbexp: -metrics: none of the selected experiments are instrumented (fig10, fig11, fig13, fig14, resilience, resilience-genomes, resilience-ckpt, adaptive are)\n")
 			os.Exit(1)
 		}
 		data, err := merged.JSON()

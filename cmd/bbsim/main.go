@@ -17,6 +17,7 @@ import (
 	"os"
 	"text/tabwriter"
 
+	"bbwfsim/internal/adapt"
 	"bbwfsim/internal/ckpt"
 	"bbwfsim/internal/core"
 	"bbwfsim/internal/exec"
@@ -47,6 +48,11 @@ func main() {
 		ckptDelay = flag.Float64("ckpt-drain-delay", 0, "delay each drain copy by N seconds after its checkpoint commits")
 		ckptSize  = flag.Float64("ckpt-size", 256, "checkpoint snapshot size floor in MiB (tasks with a memory footprint snapshot that instead)")
 		promPath  = flag.String("prom", "", "write the snapshot in Prometheus text format to this file (\"-\" = stdout)")
+		adHigh    = flag.Float64("adapt-high", 0, "spill BB replicas to the PFS above this occupancy fraction (0 = no pressure spill)")
+		adLow     = flag.Float64("adapt-low", 0, "stop spilling below this occupancy fraction (0 = half the high-water mark)")
+		adRepl    = flag.Bool("adapt-replicate", false, "proactively replicate sole-replica inputs of pending tasks after faults")
+		adBudget  = flag.Int("adapt-repl-budget", 0, "cap proactive replication copies per run (0 = unbounded; needs -adapt-replicate)")
+		adDegrade = flag.Bool("adapt-degraded-fallback", false, "route new allocations away from degraded tiers")
 	)
 	flag.Parse()
 
@@ -94,6 +100,13 @@ func main() {
 		NodePolicy:               np,
 		OrderPolicy:              op,
 		Checkpoint:               pol,
+		Adapt: adapt.Policy{
+			SpillHighWater:    *adHigh,
+			SpillLowWater:     *adLow,
+			ReplicateOnFault:  *adRepl,
+			ReplicationBudget: *adBudget,
+			DegradedFallback:  *adDegrade,
+		},
 	})
 	if err != nil {
 		fatal(err)

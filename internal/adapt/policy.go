@@ -1,0 +1,96 @@
+// Package adapt defines the runtime-adaptation policy of the execution
+// engine: how a run reacts, mid-execution and in virtual time, when the
+// burst buffer comes under pressure or the fault model degrades part of the
+// platform. The policy is pure configuration — the engine (internal/exec)
+// interprets it — covering three graceful-degradation reaction families:
+//
+//   - Pressure spill: when BB occupancy crosses a high-water fraction,
+//     cold/large replicas are spilled BB→PFS until occupancy projects below
+//     a low-water fraction (hysteresis, so the engine does not thrash
+//     around a single threshold).
+//   - Fault-aware replication: when a node fails or a BB degradation
+//     window opens, sole-replica inputs of still-pending tasks are
+//     proactively copied to the PFS so later failures stop paying full
+//     lineage re-execution.
+//   - Degradation-aware admission: while a BB degradation window is open,
+//     newly scheduled stage-ins and writes targeting that buffer fall back
+//     to the PFS instead of queueing on degraded bandwidth.
+//
+// The zero Policy disables adaptation entirely; runs with a disabled policy
+// take the exact same code paths as before the subsystem existed and
+// produce bit-identical traces.
+package adapt
+
+import "fmt"
+
+// Policy configures runtime adaptation for one execution. All decisions it
+// drives are deterministic: candidate orders are total (registry orders,
+// workflow declaration order) and every action happens in virtual time.
+type Policy struct {
+	// SpillHighWater is the BB occupancy fraction (of capacity, in (0,1])
+	// above which the engine starts spilling replicas to the PFS. Zero
+	// disables pressure spill.
+	SpillHighWater float64
+	// SpillLowWater is the occupancy fraction spilling drains down to
+	// before stopping (the hysteresis band). Must be < SpillHighWater;
+	// zero defaults to 3/4 of the high-water mark.
+	SpillLowWater float64
+	// ReplicateOnFault proactively copies sole-replica inputs of pending
+	// tasks to the PFS when a node fails or a BB degradation window opens.
+	ReplicateOnFault bool
+	// ReplicationBudget caps the number of replication copies per run.
+	// Zero means unbounded (the faults.Budget convention); only read when
+	// ReplicateOnFault is set.
+	ReplicationBudget int
+	// DegradedFallback redirects stage-ins and task writes away from a
+	// burst buffer while a degradation window is open on it, placing them
+	// on the PFS instead.
+	DegradedFallback bool
+}
+
+// Enabled reports whether the policy adapts anything at all.
+func (p Policy) Enabled() bool {
+	return p.SpillEnabled() || p.ReplicateOnFault || p.DegradedFallback
+}
+
+// SpillEnabled reports whether the pressure-spill reaction is configured.
+func (p Policy) SpillEnabled() bool { return p.SpillHighWater > 0 }
+
+// Validate rejects malformed policies: the zero value passes (disabled), a
+// spill threshold must lie in (0,1] with the low-water mark strictly below
+// the high-water mark, and the replication budget must be non-negative and
+// only set alongside ReplicateOnFault.
+func (p Policy) Validate() error {
+	if p.SpillHighWater < 0 || p.SpillHighWater > 1 {
+		return fmt.Errorf("adapt: spill high-water fraction must be in (0,1], got %g", p.SpillHighWater)
+	}
+	if p.SpillLowWater < 0 {
+		return fmt.Errorf("adapt: negative spill low-water fraction %g", p.SpillLowWater)
+	}
+	if p.SpillLowWater > 0 && !p.SpillEnabled() {
+		return fmt.Errorf("adapt: spill low-water fraction %g configured without a high-water fraction", p.SpillLowWater)
+	}
+	if p.SpillEnabled() && p.SpillLowWater >= p.SpillHighWater {
+		return fmt.Errorf("adapt: spill low-water fraction %g must be below the high-water fraction %g", p.SpillLowWater, p.SpillHighWater)
+	}
+	if p.ReplicationBudget < 0 {
+		return fmt.Errorf("adapt: negative replication budget %d", p.ReplicationBudget)
+	}
+	if p.ReplicationBudget > 0 && !p.ReplicateOnFault {
+		return fmt.Errorf("adapt: replication budget %d configured without ReplicateOnFault", p.ReplicationBudget)
+	}
+	return nil
+}
+
+// Normalized fills the documented defaults of an enabled policy: a zero
+// low-water mark becomes 3/4 of the high-water mark. Disabled policies pass
+// through unchanged.
+func (p Policy) Normalized() Policy {
+	if !p.SpillEnabled() {
+		return p
+	}
+	if p.SpillLowWater == 0 { //bbvet:allow float-compare -- zero is the documented "use default" sentinel, never a computed value
+		p.SpillLowWater = 0.75 * p.SpillHighWater
+	}
+	return p
+}

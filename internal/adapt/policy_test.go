@@ -1,0 +1,85 @@
+package adapt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		pol     Policy
+		wantErr string // substring of the error, "" = valid
+	}{
+		{"zero policy disabled", Policy{}, ""},
+		{"spill only", Policy{SpillHighWater: 0.9}, ""},
+		{"spill with hysteresis", Policy{SpillHighWater: 0.9, SpillLowWater: 0.6}, ""},
+		{"high water of exactly one", Policy{SpillHighWater: 1}, ""},
+		{"replication unbounded", Policy{ReplicateOnFault: true}, ""},
+		{"replication with budget", Policy{ReplicateOnFault: true, ReplicationBudget: 4}, ""},
+		{"fallback only", Policy{DegradedFallback: true}, ""},
+		{"everything on", Policy{SpillHighWater: 0.85, SpillLowWater: 0.5, ReplicateOnFault: true, ReplicationBudget: 2, DegradedFallback: true}, ""},
+
+		{"negative high water", Policy{SpillHighWater: -0.1}, "high-water"},
+		{"high water above one", Policy{SpillHighWater: 1.5}, "high-water"},
+		{"negative low water", Policy{SpillHighWater: 0.9, SpillLowWater: -0.2}, "low-water"},
+		{"low water without high water", Policy{SpillLowWater: 0.5}, "without a high-water"},
+		{"low water equals high water", Policy{SpillHighWater: 0.8, SpillLowWater: 0.8}, "must be below"},
+		{"low water above high water", Policy{SpillHighWater: 0.5, SpillLowWater: 0.9}, "must be below"},
+		{"negative replication budget", Policy{ReplicateOnFault: true, ReplicationBudget: -1}, "negative replication budget"},
+		{"budget without replication", Policy{ReplicationBudget: 3}, "without ReplicateOnFault"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.pol.Validate()
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Validate() = nil, want error containing %q", c.wantErr)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("Validate() = %q, want it to contain %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	if (Policy{}).Enabled() {
+		t.Fatal("zero policy must be disabled")
+	}
+	for _, p := range []Policy{
+		{SpillHighWater: 0.9},
+		{ReplicateOnFault: true},
+		{DegradedFallback: true},
+	} {
+		if !p.Enabled() {
+			t.Fatalf("policy %+v should be enabled", p)
+		}
+	}
+	if (Policy{SpillHighWater: 0.9}).SpillEnabled() != true {
+		t.Fatal("SpillEnabled should follow SpillHighWater")
+	}
+	if (Policy{ReplicateOnFault: true}).SpillEnabled() {
+		t.Fatal("replication alone must not enable spill")
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	hw := 0.8
+	p := Policy{SpillHighWater: hw}.Normalized()
+	if got, want := p.SpillLowWater, 0.75*hw; got != want {
+		t.Fatalf("default low water = %g, want %g", got, want)
+	}
+	p = Policy{SpillHighWater: 0.8, SpillLowWater: 0.3}.Normalized()
+	if got := p.SpillLowWater; got != 0.3 {
+		t.Fatalf("explicit low water changed to %g", got)
+	}
+	if z := (Policy{ReplicateOnFault: true}).Normalized(); z.SpillLowWater != 0 {
+		t.Fatalf("disabled spill must pass through unchanged, got %+v", z)
+	}
+}

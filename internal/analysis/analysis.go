@@ -188,6 +188,7 @@ var simPackages = map[string]bool{
 	"storage": true, "testbed": true, "calib": true,
 	"placement": true, "optimize": true, "faults": true,
 	"metrics": true, "invariants": true, "ckpt": true,
+	"adapt": true,
 }
 
 // kernelPackages is the single-threaded discrete-event core whose
@@ -195,7 +196,7 @@ var simPackages = map[string]bool{
 // the fluid model, and the task executor that drives them. Concurrency in
 // this repository lives one layer up, in the campaign runner (see
 // runnerIsolationRule) — never inside a run.
-var kernelPackages = map[string]bool{"sim": true, "flow": true, "exec": true, "ckpt": true}
+var kernelPackages = map[string]bool{"sim": true, "flow": true, "exec": true, "ckpt": true, "adapt": true}
 
 // deterministicOutputPackages additionally covers packages whose output is
 // asserted bit-identical across runs (experiment tables, traces), and the

@@ -19,6 +19,7 @@ package core
 import (
 	"fmt"
 
+	"bbwfsim/internal/adapt"
 	"bbwfsim/internal/calib"
 	"bbwfsim/internal/ckpt"
 	"bbwfsim/internal/exec"
@@ -103,6 +104,10 @@ type RunOptions struct {
 	// (internal/ckpt): periodic progress snapshots to a storage tier and
 	// restarts from the newest durable one. The zero value disables it.
 	Checkpoint ckpt.Policy
+	// Adapt configures runtime adaptation (internal/adapt): BB-pressure
+	// spill with hysteresis, fault-aware proactive replication, and
+	// degradation-aware admission fallback. The zero value disables it.
+	Adapt adapt.Policy
 }
 
 // FaultStats counts the fault and recovery events of one execution.
@@ -130,6 +135,15 @@ type FaultStats struct {
 	// CkptRestarts is the number of task restarts that resumed from a
 	// checkpoint instead of recomputing from scratch.
 	CkptRestarts int
+	// AdaptSpills is the number of replicas the adaptation layer spilled
+	// off pressured burst buffers.
+	AdaptSpills int
+	// AdaptReplications is the number of completed proactive replication
+	// copies after node failures or degradation windows.
+	AdaptReplications int
+	// AdaptFallbacks is the number of allocations redirected to the PFS by
+	// degradation-aware admission.
+	AdaptFallbacks int
 }
 
 // faultStats derives the counters from a trace.
@@ -145,6 +159,10 @@ func faultStats(tr *trace.Trace) FaultStats {
 		CkptDrains:     tr.CountKind(trace.CkptDrain),
 		CkptLosses:     tr.CountKind(trace.CkptLost),
 		CkptRestarts:   tr.CountKind(trace.RestartFrom),
+
+		AdaptSpills:       tr.CountKind(trace.AdaptSpill),
+		AdaptReplications: tr.CountKind(trace.AdaptReplicate),
+		AdaptFallbacks:    tr.CountKind(trace.AdaptFallback),
 	}
 }
 
@@ -210,6 +228,7 @@ func (s *Simulator) Run(wf *workflow.Workflow, opts RunOptions) (*Result, error)
 		Retry:                    opts.Retry,
 		BBFallback:               opts.BBFallback,
 		Checkpoint:               opts.Checkpoint,
+		Adapt:                    opts.Adapt,
 		Metrics:                  col,
 	})
 	if err != nil {
@@ -255,6 +274,9 @@ func finishSnapshot(col *metrics.Collector, eng *sim.Engine, plat *platform.Plat
 	col.Add(metrics.CkptDrainsTotal, metrics.Key{}, float64(fs.CkptDrains))
 	col.Add(metrics.CkptLossesTotal, metrics.Key{}, float64(fs.CkptLosses))
 	col.Add(metrics.CkptRestartsTotal, metrics.Key{}, float64(fs.CkptRestarts))
+	col.Add(metrics.AdaptSpillsTotal, metrics.Key{}, float64(fs.AdaptSpills))
+	col.Add(metrics.AdaptReplicationsTotal, metrics.Key{}, float64(fs.AdaptReplications))
+	col.Add(metrics.AdaptFallbacksTotal, metrics.Key{}, float64(fs.AdaptFallbacks))
 	col.GaugeMax(metrics.MakespanSeconds, metrics.Key{}, tr.Makespan())
 }
 

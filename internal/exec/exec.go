@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"bbwfsim/internal/adapt"
 	"bbwfsim/internal/ckpt"
 	"bbwfsim/internal/metrics"
 	"bbwfsim/internal/platform"
@@ -113,6 +114,12 @@ type Config struct {
 	// value disables checkpointing entirely; such runs take identical code
 	// paths and produce bit-identical traces.
 	Checkpoint ckpt.Policy
+	// Adapt configures runtime adaptation (adapt.go): pressure-triggered
+	// BB→PFS spill with hysteresis, fault-aware proactive replication, and
+	// degradation-aware admission fallback. The zero value disables
+	// adaptation entirely; such runs take identical code paths and produce
+	// bit-identical traces.
+	Adapt adapt.Policy
 	// BBFallback redirects a write to the PFS when its burst-buffer target
 	// has no space, instead of failing the run (graceful degradation — the
 	// workflow slows down rather than dying). Rejections injected by the
@@ -156,6 +163,10 @@ func Run(sys *storage.System, wf *workflow.Workflow, cfg Config) (*trace.Trace, 
 		return nil, fmt.Errorf("exec: %w", err)
 	}
 	cfg.Checkpoint = cfg.Checkpoint.Normalized()
+	if err := cfg.Adapt.Validate(); err != nil {
+		return nil, fmt.Errorf("exec: %w", err)
+	}
+	cfg.Adapt = cfg.Adapt.Normalized()
 	if cfg.Placement == nil {
 		cfg.Placement = PFSOnly{}
 	}
@@ -199,11 +210,23 @@ func Run(sys *storage.System, wf *workflow.Workflow, cfg Config) (*trace.Trace, 
 		e.ckpts = map[*workflow.Task][]*ckptRec{}
 		e.ckptOf = map[*workflow.File]*ckptRec{}
 	}
+	if cfg.Adapt.Enabled() {
+		e.ad = newAdaptState(cfg.Adapt)
+	}
 	for _, f := range wf.Files() {
 		e.readers[f] = len(f.Consumers())
 	}
 	if err := e.placeInputs(); err != nil {
 		return nil, err
+	}
+	if e.ad != nil && cfg.Adapt.SpillEnabled() {
+		// Reservations are the only moments occupancy rises mid-run; the
+		// hook is the adaptation layer's pressure probe. Pre-placed inputs
+		// bypass reservations, so probe once up front too.
+		sys.Manager().OnReserve(e.adaptPressure)
+		for _, bb := range sys.AllBBs() {
+			e.adaptPressure(bb)
+		}
 	}
 	for _, t := range wf.Tasks() {
 		e.remaining[t] = len(t.Parents())
@@ -260,6 +283,9 @@ type engine struct {
 	ckpts   map[*workflow.Task][]*ckptRec // committed snapshots, oldest first
 	ckptOf  map[*workflow.File]*ckptRec   // reverse index for replica-loss hooks
 	ckptSeq int                           // snapshot file id counter
+
+	// Adaptation state (adapt.go); nil unless the run has an adapt policy.
+	ad *adaptState
 
 	finished   int
 	running    int
@@ -469,6 +495,12 @@ func (e *engine) runStageIn(a *attempt, i int) {
 		}
 		svc := e.cfg.Placement.StageTarget(f, e.sys, node)
 		if svc == nil || svc == e.sys.PFS() {
+			i++
+			continue
+		}
+		if e.adaptFallback(t, f, svc) {
+			// Degradation-aware admission: the file stays on the PFS
+			// instead of queueing on the degraded buffer.
 			i++
 			continue
 		}
@@ -692,6 +724,9 @@ func (e *engine) runWrites(a *attempt) {
 		if svc == nil {
 			svc = e.sys.PFS()
 		}
+		if svc != e.sys.PFS() && e.adaptFallback(t, f, svc) {
+			svc = e.sys.PFS()
+		}
 		if svc != e.sys.PFS() && e.cfg.Faults != nil && e.cfg.Faults.RejectBBAlloc(t, f) {
 			e.tr.Record(e.now(), trace.BBReject, t.ID(), f.ID()+"@"+svc.Name())
 			e.tr.Record(e.now(), trace.Fallback, t.ID(), f.ID()+"->pfs")
@@ -818,6 +853,11 @@ func (e *engine) commitPhases(t *workflow.Task, rec *trace.TaskRecord) {
 // consumer has finished. Terminal outputs (no consumers at all) never
 // reach here, so only scratch data is discarded.
 func (e *engine) evictScratch(f *workflow.File) {
+	if e.ad != nil {
+		// A spill of a file whose last consumer just finished is pointless:
+		// cancel it so the eviction below frees the space exactly once.
+		e.cancelSpill(f)
+	}
 	for _, svc := range e.sys.Registry().Locations(f) {
 		if svc.Kind() == storage.KindPFS {
 			continue

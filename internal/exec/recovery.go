@@ -71,6 +71,12 @@ type FaultController interface {
 	RepairNode(n *platform.Node)
 	// Note records a fault-model event (degradation windows) in the trace.
 	Note(kind trace.EventKind, detail string)
+	// SetDegraded brackets a bandwidth-degradation window on svc: the fault
+	// model calls it with true when the window opens and false when it
+	// closes. The adaptation layer (adapt.go) reacts — degradation-aware
+	// admission, proactive replication — while runs without an adapt policy
+	// pay a nil check.
+	SetDegraded(svc storage.Service, active bool)
 }
 
 // Backoff selects how retry delays grow with consecutive failures.
@@ -278,6 +284,12 @@ func (e *engine) FailNode(n *platform.Node, cause string) {
 		}
 	}
 	e.loseNodeReplicas(n)
+	if e.err == nil && e.ad != nil && e.ad.pol.ReplicateOnFault {
+		// Fault-aware replication: the failure just proved nodes die — get
+		// sole-replica inputs of still-pending tasks off the at-risk tiers
+		// before the next one does.
+		e.adaptReplicate(nil)
+	}
 	e.schedule()
 }
 
@@ -322,6 +334,12 @@ func (e *engine) abortAttempt(a *attempt) {
 // the task moved.
 func (e *engine) dropOutputs(t *workflow.Task) {
 	for _, f := range t.Outputs() {
+		if e.ad != nil {
+			// An in-flight spill or replication of a dropped output would
+			// re-register a replica of data the re-execution regenerates.
+			e.cancelSpill(f)
+			e.cancelReplication(f)
+		}
 		for _, svc := range e.sys.Registry().Locations(f) {
 			if t.Kind() == workflow.KindStageIn && svc.Kind() == storage.KindPFS {
 				continue
@@ -361,6 +379,11 @@ func (e *engine) loseNodeReplicas(n *platform.Node) {
 			if err := e.sys.Manager().Evict(f, svc); err != nil {
 				e.fail(err)
 				return
+			}
+			if e.ad != nil {
+				// A spill or replication copy reading the destroyed replica
+				// dies with it; cancel so its reservation returns.
+				e.adaptReplicaLost(f, svc)
 			}
 			if ck := e.ckptOf[f]; ck != nil {
 				// Checkpoint snapshots have no producer to re-execute; their

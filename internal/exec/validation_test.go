@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"bbwfsim/internal/adapt"
 	"bbwfsim/internal/exec"
 	"bbwfsim/internal/workflow"
 )
@@ -29,6 +30,63 @@ func TestNegativeCoresPerTaskRejected(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "CoresPerTask") {
 		t.Errorf("error %q does not name the offending field", err)
+	}
+}
+
+// TestInvalidAdaptPolicyRejected: adaptive thresholds are validated before
+// the simulation starts — an out-of-range water mark or an inconsistent
+// replication budget must fail up front, naming the offending knob, rather
+// than silently producing a run that never (or always) spills.
+func TestInvalidAdaptPolicyRejected(t *testing.T) {
+	cases := []struct {
+		name string
+		pol  adapt.Policy
+		want string
+	}{
+		{"high water above one", adapt.Policy{SpillHighWater: 1.5}, "high-water"},
+		{"negative high water", adapt.Policy{SpillHighWater: -0.2}, "high-water"},
+		{"negative low water", adapt.Policy{SpillHighWater: 0.8, SpillLowWater: -0.1}, "low-water"},
+		{"low water without high water", adapt.Policy{SpillLowWater: 0.5}, "low-water"},
+		{"low water at high water", adapt.Policy{SpillHighWater: 0.6, SpillLowWater: 0.6}, "below"},
+		{"low water above high water", adapt.Policy{SpillHighWater: 0.6, SpillLowWater: 0.9}, "below"},
+		{"negative replication budget", adapt.Policy{ReplicateOnFault: true, ReplicationBudget: -3}, "budget"},
+		{"budget without replication", adapt.Policy{ReplicationBudget: 4}, "ReplicateOnFault"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sys := newSystem(t, testConfig(1, 4))
+			wf := workflow.New("one")
+			wf.MustAddTask(workflow.TaskSpec{ID: "t", Work: 1e9, Cores: 1})
+			_, err := exec.Run(sys, wf, exec.Config{Adapt: tc.pol})
+			if err == nil {
+				t.Fatalf("Run accepted invalid adapt policy %+v", tc.pol)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not name the offending field (want substring %q)", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestValidAdaptPolicyAccepted: the boundary values the validator documents
+// as legal — a full-capacity high-water mark and an unbounded budget — must
+// run, not error.
+func TestValidAdaptPolicyAccepted(t *testing.T) {
+	cases := []adapt.Policy{
+		{},
+		{SpillHighWater: 1},
+		{SpillHighWater: 0.8, SpillLowWater: 0.2},
+		{ReplicateOnFault: true},
+		{ReplicateOnFault: true, ReplicationBudget: 10},
+		{DegradedFallback: true},
+	}
+	for i, pol := range cases {
+		sys := newSystem(t, testConfig(1, 4))
+		wf := workflow.New("one")
+		wf.MustAddTask(workflow.TaskSpec{ID: "t", Work: 1e9, Cores: 1})
+		if _, err := exec.Run(sys, wf, exec.Config{Adapt: pol}); err != nil {
+			t.Errorf("policy %d: Run rejected valid adapt policy %+v: %v", i, pol, err)
+		}
 	}
 }
 

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestAdaptiveBeatsStatic is the degradation study's headline claim: under
+// high BB pressure (capacity below the all-in-BB footprint), at equal seeds —
+// every stance in one cell replays the bit-identical fault stream — the
+// adaptation layer strictly reduces both the number of failed runs and the
+// total re-executed compute versus the static all-in-BB stance.
+func TestAdaptiveBeatsStatic(t *testing.T) {
+	tables, err := RunAdaptive(Options{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	col := func(name string) int {
+		for i, h := range tb.Header {
+			if h == name {
+				return i
+			}
+		}
+		t.Fatalf("no %q column", name)
+		return -1
+	}
+	capC, polC, outC, reexecC := col("bb capacity"), col("policy"), col("outcome"), col("re-exec compute [s]")
+
+	type tally struct {
+		failed int
+		reexec float64
+	}
+	sums := map[string]*tally{"static": {}, "adaptive": {}}
+	rows := 0
+	for _, row := range tb.Rows {
+		s, ok := sums[row[polC]]
+		if !ok {
+			continue
+		}
+		if row[capC] == "unconstrained" || row[capC] == "ample (150%)" {
+			continue // high-pressure cells only
+		}
+		rows++
+		if row[outC] == "failed" {
+			s.failed++
+		}
+		v, err := strconv.ParseFloat(row[reexecC], 64)
+		if err != nil {
+			t.Fatalf("unparseable re-exec cell %q: %v", row[reexecC], err)
+		}
+		s.reexec += v
+	}
+	if rows == 0 {
+		t.Fatal("sweep has no high-pressure static/adaptive rows")
+	}
+	st, ad := sums["static"], sums["adaptive"]
+	if st.failed == 0 {
+		t.Fatal("static stance never failed under pressure; the study's premise is gone")
+	}
+	if ad.failed >= st.failed {
+		t.Errorf("adaptive failed runs = %d, static = %d; want strictly fewer", ad.failed, st.failed)
+	}
+	if ad.reexec >= st.reexec {
+		t.Errorf("adaptive re-executed compute = %g, static = %g; want strictly less", ad.reexec, st.reexec)
+	}
+}
+
+// TestAdaptiveFaultStreamsEngage: the sweep's faulty adaptive rows actually
+// exercise all three reaction families — spill, replication, and fallback
+// each fire somewhere in the table — so the study compares live machinery,
+// not a disabled policy.
+func TestAdaptiveFaultStreamsEngage(t *testing.T) {
+	tables, err := RunAdaptive(Options{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	col := func(name string) int {
+		for i, h := range tb.Header {
+			if h == name {
+				return i
+			}
+		}
+		t.Fatalf("no %q column", name)
+		return -1
+	}
+	polC, spC, repC, fbC := col("policy"), col("spills"), col("replications"), col("fallbacks")
+	count := func(c int) int {
+		total := 0
+		for _, row := range tb.Rows {
+			if row[polC] != "adaptive" || row[c] == "—" {
+				continue
+			}
+			v, err := strconv.Atoi(row[c])
+			if err != nil {
+				t.Fatalf("unparseable adapt-count cell %q: %v", row[c], err)
+			}
+			total += v
+		}
+		return total
+	}
+	if count(spC) == 0 {
+		t.Error("no adaptive row ever spilled")
+	}
+	if count(repC) == 0 {
+		t.Error("no adaptive row ever replicated")
+	}
+	if count(fbC) == 0 {
+		t.Error("no adaptive row ever fell back")
+	}
+	for _, row := range tb.Rows {
+		if row[polC] == "static" || row[polC] == "oracle" {
+			for _, c := range []int{spC, repC, fbC} {
+				if row[c] != "0" && row[c] != "—" {
+					t.Errorf("non-adaptive row %v shows adaptation activity", row)
+				}
+			}
+		}
+	}
+}

@@ -225,6 +225,7 @@ func All() []Experiment {
 		{"resilience", "Resilience: fault injection & recovery on SWarp", RunResilience},
 		{"resilience-genomes", "Resilience: fault injection & recovery on 1000Genomes", RunResilienceGenomes},
 		{"resilience-ckpt", "Resilience: checkpoint/restart policy study (interval × tier × failure rate)", RunResilienceCkpt},
+		{"adaptive", "Graceful degradation: static vs. adaptive vs. oracle placement under BB pressure", RunAdaptive},
 		{"scalability", "Simulator cost vs. workflow size", RunScalability},
 	}
 }

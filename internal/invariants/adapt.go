@@ -1,0 +1,57 @@
+package invariants
+
+import (
+	"bbwfsim/internal/metrics"
+	"bbwfsim/internal/storage"
+)
+
+// checkAdapt validates the runtime-adaptation invariants against the
+// emitted snapshot:
+//
+//	a. per source tier, the bytes the adaptation layer moved off it (spills
+//	   plus replications) never exceed the tier's total read traffic — an
+//	   adaptation copy reads its bytes off the source through the same
+//	   storage manager as workflow reads, so its accounting is a subset;
+//	b. the total adaptation bytes never exceed the PFS write traffic — every
+//	   spill and replication lands on the PFS as an ordinary write.
+//
+// The adapt event tallies (spills, replications, fallbacks) are pinned to
+// the trace by invariant 5's counter table, and adaptive runs still satisfy
+// per-tier byte conservation (invariant 2) because the copies move through
+// storage.Manager like everything else.
+func checkAdapt(snap *metrics.Snapshot, violation func(string, ...any)) {
+	perTier := map[string]float64{}
+	var tiers []string // snapshot order, so violations report deterministically
+	total := 0.0
+	for _, s := range snap.Counters {
+		if s.Family != metrics.AdaptBytesTotal {
+			continue
+		}
+		if _, seen := perTier[s.Tier]; !seen {
+			tiers = append(tiers, s.Tier)
+		}
+		perTier[s.Tier] += s.Value
+		total += s.Value
+	}
+	for _, tier := range tiers {
+		moved := perTier[tier]
+		reads := 0.0
+		for _, s := range snap.Counters {
+			if s.Family == metrics.StorageBytesTotal && s.Tier == tier && s.Op == metrics.OpRead {
+				reads += s.Value
+			}
+		}
+		if moved > reads {
+			violation("adapt_bytes_total moved %g bytes off tier %s but the tier only served %g read bytes: adaptation bypassed the storage manager",
+				moved, tier, reads)
+		}
+	}
+	if total > 0 {
+		pfsWrites := snap.Counter(metrics.StorageBytesTotal,
+			metrics.Key{Tier: string(storage.KindPFS), Op: metrics.OpWrite})
+		if total > pfsWrites {
+			violation("adapt_bytes_total %g exceeds PFS write traffic %g: adaptation copies bypassed the storage manager",
+				total, pfsWrites)
+		}
+	}
+}

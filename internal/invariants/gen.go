@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"bbwfsim/internal/adapt"
 	"bbwfsim/internal/ckpt"
 	"bbwfsim/internal/core"
 	"bbwfsim/internal/exec"
@@ -168,8 +169,60 @@ func CkptCase(seed int64) (Case, error) {
 	return c, nil
 }
 
-// streamOffset keeps CkptCase's extra draws disjoint from RandomCase's for
-// any seed (same large-prime spacing the fault injector uses).
+// AdaptCase derives an adaptive variant of RandomCase(seed): the same
+// workflow × platform × option draw, with an adapt policy forced on, the
+// burst buffer squeezed to a small multiple of the file regime (so pressure
+// spill actually fires), and a fault campaign guaranteed (so replication
+// and degradation fallback fire too). The extra draws come from a separate
+// stream — disjoint from both RandomCase's and CkptCase's — so the
+// underlying case stays identical to RandomCase's.
+func AdaptCase(seed int64) (Case, error) {
+	c, err := RandomCase(seed)
+	if err != nil {
+		return Case{}, err
+	}
+	rng := rand.New(rand.NewSource(seed + 11*streamOffset))
+	high := []float64{0.5, 0.7, 0.9}[rng.Intn(3)]
+	c.Opts.Adapt = adapt.Policy{
+		SpillHighWater:   high,
+		ReplicateOnFault: true,
+		DegradedFallback: rng.Intn(2) == 0,
+	}
+	if rng.Intn(2) == 0 {
+		c.Opts.Adapt.SpillLowWater = 0.5 * high
+	}
+	if rng.Intn(3) == 0 {
+		c.Opts.Adapt.ReplicationBudget = 1 + rng.Intn(8)
+	}
+	// Squeeze the burst buffer to a fraction of the workflow's total file
+	// footprint so occupancy reaches the high-water mark, and stage
+	// aggressively so traffic actually lands there. BBFallback keeps
+	// overflow non-fatal (the harness studies invariants, not failed runs);
+	// pre-placement is off because PlaceInitial fails outright on a full
+	// tier.
+	var footprint units.Bytes
+	for _, f := range c.Workflow.Files() {
+		footprint += f.Size()
+	}
+	c.Platform.BB.Capacity = footprint / units.Bytes(2+rng.Intn(3))
+	c.Opts.StagedFraction = 1
+	c.Opts.IntermediatesToBB = true
+	c.Opts.BBFallback = true
+	c.Opts.PrePlaceInputs = false
+	if c.CrashDiv == 0 { //bbvet:allow float-compare -- zero is the literal "no faults drawn" sentinel RandomCase assigns, never computed
+		c.CrashDiv = []float64{2, 4, 8}[rng.Intn(3)]
+		c.Opts.Retry = exec.RetryPolicy{
+			MaxRetries: 60, Backoff: exec.BackoffExponential,
+			BaseDelay: 2, MaxDelay: 60, Jitter: 0.25, Seed: seed,
+		}
+	}
+	c.Name = "adapt-" + c.Name
+	return c, nil
+}
+
+// streamOffset keeps CkptCase's and AdaptCase's extra draws disjoint from
+// RandomCase's for any seed (same large-prime spacing the fault injector
+// uses).
 const streamOffset = 1_000_003
 
 // FaultOptions returns the run options for the case's fault campaign,

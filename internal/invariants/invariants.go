@@ -140,7 +140,12 @@ const spanEps = 1e-9
 //     references a snapshot replica durable at the restart instant, each
 //     restart recovers at most the compute its task lost to aborts,
 //     recovered-seconds counters match the trace, and checkpoint bytes
-//     never exceed the storage traffic they are a part of.
+//     never exceed the storage traffic they are a part of;
+//  8. adaptation consistency (checkAdapt): spilled and replicated bytes
+//     never exceed the read traffic of the tier they left or the PFS write
+//     traffic they became — adaptation copies ride the same storage
+//     manager as workflow data, and the adapt event tallies (spills,
+//     replications, fallbacks) match the trace through invariant 5.
 func Check(cfg platform.Config, wf *workflow.Workflow, res *core.Result) []string {
 	var v []string
 	violation := func(format string, args ...any) {
@@ -235,6 +240,9 @@ func Check(cfg platform.Config, wf *workflow.Workflow, res *core.Result) []strin
 		{metrics.CkptDrainsTotal, res.Faults.CkptDrains},
 		{metrics.CkptLossesTotal, res.Faults.CkptLosses},
 		{metrics.CkptRestartsTotal, res.Faults.CkptRestarts},
+		{metrics.AdaptSpillsTotal, res.Faults.AdaptSpills},
+		{metrics.AdaptReplicationsTotal, res.Faults.AdaptReplications},
+		{metrics.AdaptFallbacksTotal, res.Faults.AdaptFallbacks},
 	}
 	for _, p := range faultPairs {
 		if got := snap.Counter(p.family, metrics.Key{}); got != float64(p.want) { //bbvet:allow float-compare -- both sides are the same integer event count
@@ -246,6 +254,10 @@ func Check(cfg platform.Config, wf *workflow.Workflow, res *core.Result) []strin
 	// snapshots, recovered compute is bounded by aborted compute, and
 	// checkpoint traffic is a subset of storage traffic (ckpt.go).
 	checkCkpt(snap, res, violation)
+
+	// 8. Adaptation consistency: spill/replication traffic is a subset of
+	// the storage traffic it moved through (adapt.go).
+	checkAdapt(snap, violation)
 
 	// 6. Task families equal the trace-replay reconstruction bitwise.
 	rebuilt := RebuildPhases(res.Trace, wf)

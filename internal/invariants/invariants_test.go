@@ -148,6 +148,62 @@ func TestCheckpointPropertyHarness(t *testing.T) {
 	}
 }
 
+// TestAdaptPropertyHarness drives 150 seeded adaptive fault configs — the
+// RandomCase draws with an adapt policy forced on, the burst buffer
+// squeezed, and a calibrated fault campaign guaranteed — through the full
+// simulator and checks every cross-layer invariant, including the adapt
+// byte bounds (spill/replication traffic ⊆ storage traffic) and the
+// trace-pinned adapt tallies.
+func TestAdaptPropertyHarness(t *testing.T) {
+	const cases = 150
+	var spills, replications, fallbacks int
+	for seed := int64(1); seed <= cases; seed++ {
+		c, err := AdaptCase(seed)
+		if err != nil {
+			t.Fatalf("AdaptCase(%d): %v", seed, err)
+		}
+		run := func(faulty bool, baseline float64) *core.Result {
+			t.Helper()
+			ro := c.Opts
+			if faulty {
+				ro, err = c.FaultOptions(baseline)
+				if err != nil {
+					t.Fatalf("%s: FaultOptions: %v", c.Name, err)
+				}
+			}
+			sim, err := core.NewSimulator(c.Platform)
+			if err != nil {
+				t.Fatalf("%s: NewSimulator: %v", c.Name, err)
+			}
+			res, err := sim.Run(c.Workflow, ro)
+			if err != nil {
+				t.Fatalf("%s (faulty=%v): Run: %v", c.Name, faulty, err)
+			}
+			for _, v := range Check(c.Platform, c.Workflow, res) {
+				t.Errorf("%s (faulty=%v): %s", c.Name, faulty, v)
+			}
+			return res
+		}
+		res := run(false, 0)
+		spills += res.Faults.AdaptSpills
+		fr := run(true, res.Makespan)
+		spills += fr.Faults.AdaptSpills
+		replications += fr.Faults.AdaptReplications
+		fallbacks += fr.Faults.AdaptFallbacks
+	}
+	// Guard against the generator drifting into configurations that never
+	// exercise the adaptation machinery.
+	if spills < 50 {
+		t.Errorf("only %d adapt spills across %d cases; harness coverage degraded", spills, cases)
+	}
+	if replications < 20 {
+		t.Errorf("only %d adapt replications; harness coverage degraded", replications)
+	}
+	if fallbacks < 10 {
+		t.Errorf("only %d adapt fallbacks; harness coverage degraded", fallbacks)
+	}
+}
+
 // TestCheckDetectsTampering makes sure Check is a tripwire, not a
 // tautology: corrupting any of the quantities it validates must produce a
 // violation.
@@ -314,6 +370,105 @@ func TestCheckDetectsCkptTampering(t *testing.T) {
 		events[restart].Detail = fmt.Sprintf("ckpt-ghost-000000@%s p=%g", svc, 0.0)
 	})
 	events[restart].Detail = origDetail
+
+	if v := Check(c.Platform, c.Workflow, res); len(v) != 0 {
+		t.Fatalf("restored run still reports violations: %v", v)
+	}
+}
+
+// TestCheckDetectsAdaptTampering extends the tripwire test to the
+// adaptation invariants: inflating the adapt byte tally past the storage
+// traffic that could have carried it, or skewing the trace-pinned adapt
+// event counters, must all be caught by Check.
+func TestCheckDetectsAdaptTampering(t *testing.T) {
+	// Scan seeds deterministically for a fault campaign that actually
+	// spilled bytes, so every tamper target exists.
+	var (
+		c   Case
+		res *core.Result
+	)
+	for seed := int64(1); ; seed++ {
+		if seed > 100 {
+			t.Fatal("no AdaptCase seed in 1..100 produced an adapt spill with bytes moved")
+		}
+		ac, err := AdaptCase(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := core.NewSimulator(ac.Platform)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := sim.Run(ac.Workflow, ac.Opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fo, err := ac.FaultOptions(base.Makespan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err = core.NewSimulator(ac.Platform)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr, err := sim.Run(ac.Workflow, fo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spilledBytes := false
+		for _, s := range fr.Metrics.Counters {
+			if s.Family == metrics.AdaptBytesTotal && s.Op == metrics.OpSpill && s.Value > 0 {
+				spilledBytes = true
+			}
+		}
+		if fr.Faults.AdaptSpills > 0 && fr.Faults.AdaptReplications > 0 && spilledBytes {
+			c, res = ac, fr
+			break
+		}
+	}
+	if v := Check(c.Platform, c.Workflow, res); len(v) != 0 {
+		t.Fatalf("clean run reported violations: %v", v)
+	}
+
+	tamper := func(name string, mutate func()) {
+		t.Helper()
+		mutate()
+		if v := Check(c.Platform, c.Workflow, res); len(v) == 0 {
+			t.Errorf("%s: tampering went undetected", name)
+		}
+	}
+	findCounter := func(family string) *metrics.Sample {
+		t.Helper()
+		for i := range res.Metrics.Counters {
+			if res.Metrics.Counters[i].Family == family {
+				return &res.Metrics.Counters[i]
+			}
+		}
+		t.Fatalf("snapshot has no %s counter", family)
+		return nil
+	}
+
+	// Claim the adaptation layer moved more bytes than the source tier ever
+	// served as reads (and than the PFS ever absorbed as writes).
+	moved := findCounter(metrics.AdaptBytesTotal)
+	orig := moved.Value
+	tamper("inflated adapt_bytes_total", func() { moved.Value += 1 << 50 })
+	moved.Value = orig
+
+	spills := findCounter(metrics.AdaptSpillsTotal)
+	orig = spills.Value
+	tamper("inflated adapt_spills_total", func() { spills.Value += 1 })
+	spills.Value = orig
+
+	repls := findCounter(metrics.AdaptReplicationsTotal)
+	orig = repls.Value
+	tamper("inflated adapt_replications_total", func() { repls.Value += 1 })
+	repls.Value = orig
+
+	falls := findCounter(metrics.AdaptFallbacksTotal)
+	orig = falls.Value
+	tamper("dropped adapt_fallbacks_total", func() { falls.Value -= 1 })
+	falls.Value = orig
 
 	if v := Check(c.Platform, c.Workflow, res); len(v) != 0 {
 		t.Fatalf("restored run still reports violations: %v", v)

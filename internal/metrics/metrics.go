@@ -91,6 +91,17 @@ const (
 	CkptLossesTotal   = "ckpt_losses_total"
 	CkptRestartsTotal = "ckpt_restarts_total"
 
+	// AdaptBytesTotal counts bytes the adaptation layer moved, labeled by
+	// tier and op (OpSpill for BB→PFS pressure spills, OpReplicate for
+	// fault-aware replication copies). The underlying flows also appear in
+	// StorageBytesTotal under the regular read/write ops.
+	AdaptBytesTotal = "adapt_bytes_total"
+	// Adaptation event tallies, folded in from the trace like the fault and
+	// checkpoint families (always emitted, zero without an adapt policy).
+	AdaptSpillsTotal       = "adapt_spills_total"
+	AdaptReplicationsTotal = "adapt_replications_total"
+	AdaptFallbacksTotal    = "adapt_fallbacks_total"
+
 	// MakespanSeconds is the run's makespan (gauge; campaign merges keep
 	// the maximum).
 	MakespanSeconds = "makespan_seconds"
@@ -109,6 +120,12 @@ const (
 const (
 	OpRead  = "read"
 	OpWrite = "write"
+)
+
+// Op label values for AdaptBytesTotal.
+const (
+	OpSpill     = "spill"
+	OpReplicate = "replicate"
 )
 
 // DefaultBuckets are the fixed upper bounds (seconds) of every duration

@@ -139,6 +139,11 @@ type Manager struct {
 	// col receives per-operation metrics at completion; nil (the default)
 	// costs nothing beyond the nil-receiver check inside the collector.
 	col *metrics.Collector
+	// onReserve, if set, runs after each successful write/copy reservation
+	// with the destination service. The adaptation layer (internal/exec)
+	// uses it as its occupancy-pressure probe: reservations are the only
+	// moments committed-plus-pending usage rises.
+	onReserve func(Service)
 }
 
 // NewManager builds a manager over the platform's flow network. A nil model
@@ -169,6 +174,13 @@ func (m *Manager) SetModel(model OpModel) {
 // SetMetrics attaches a collector; every operation completion then records
 // bytes, op counts, and virtual-duration histograms per (tier, op).
 func (m *Manager) SetMetrics(col *metrics.Collector) { m.col = col }
+
+// OnReserve installs a hook that runs after every successful write/copy
+// reservation, receiving the destination service. It fires after the
+// operation is fully in flight, so the hook may itself start operations
+// (the adaptation layer spills under the very reservation that crossed its
+// high-water mark). A nil hook (the default) costs one nil check.
+func (m *Manager) OnReserve(fn func(Service)) { m.onReserve = fn }
 
 // observeOp records one completed operation leg. Durations are virtual
 // seconds (engine time deltas) — the only clock this layer knows.
@@ -293,6 +305,9 @@ func (m *Manager) Write(node *platform.Node, f *workflow.File, svc Service, onDo
 			}
 		},
 	)
+	if m.onReserve != nil {
+		m.onReserve(svc)
+	}
 	return op, nil
 }
 
@@ -353,6 +368,9 @@ func (m *Manager) Copy(node *platform.Node, f *workflow.File, src, dst Service, 
 			}
 		},
 	)
+	if m.onReserve != nil {
+		m.onReserve(dst)
+	}
 	return op, nil
 }
 

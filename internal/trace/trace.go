@@ -81,6 +81,23 @@ const (
 	RestartFrom EventKind = "restart-from"
 )
 
+// Runtime-adaptation event kinds (internal/adapt policy, exec engine). Runs
+// without an adaptation policy never contain them.
+const (
+	// AdaptSpill records a replica spilled from a pressured burst buffer to
+	// the PFS (evicted outright when the PFS already held a copy, copied
+	// then evicted otherwise); the detail is "file@service".
+	AdaptSpill EventKind = "adapt-spill"
+	// AdaptReplicate records a sole-replica input of a still-pending task
+	// proactively copied to the PFS after a node failure or at the opening
+	// of a BB degradation window; the detail is "file@service->pfs".
+	AdaptReplicate EventKind = "adapt-replicate"
+	// AdaptFallback records a stage-in or task write redirected from a
+	// degraded burst buffer to the PFS by the degradation-aware admission
+	// reaction; the detail is "file@service".
+	AdaptFallback EventKind = "adapt-fallback"
+)
+
 // Event is one time-stamped occurrence.
 type Event struct {
 	Time   float64   `json:"time"`
