@@ -13,6 +13,7 @@
 //	bbbench -o my.json            # explicit output path ("-" for stdout)
 //	bbbench -against BENCH_1.json # run, then fail on >20% ns/op regression
 //	bbbench -against BENCH_1.json -tol 0.5
+//	bbbench -repeat 3             # keep the fastest of 3 passes per entry
 //
 // Wall-clock numbers are machine-dependent by nature, so snapshots record
 // GOMAXPROCS and the Go version alongside every result; the regression gate
@@ -42,7 +43,9 @@ import (
 	"bbwfsim/internal/platform"
 	"bbwfsim/internal/sim"
 	"bbwfsim/internal/swarp"
+	"bbwfsim/internal/trace"
 	"bbwfsim/internal/units"
+	"bbwfsim/internal/workloads"
 )
 
 // Snapshot is the BENCH_<n>.json schema.
@@ -69,6 +72,14 @@ type Snapshot struct {
 	// FlowRecomputeAllocsPerOp is the steady-state allocation count of the
 	// flow solver's rate recompute; the contract is exactly 0.
 	FlowRecomputeAllocsPerOp float64 `json:"flow_recompute_allocs_per_op"`
+
+	// TraceBytesRetained / TraceBytesCounting are the live heap bytes still
+	// reachable from a finished 100k-task run's Result in retained vs.
+	// counting trace mode. The suite fails outright if counting does not
+	// stay under a fifth of retained — that ratio is the scale modes'
+	// O(active tasks) memory contract, measured rather than asserted.
+	TraceBytesRetained int64 `json:"trace_bytes_retained_100k"`
+	TraceBytesCounting int64 `json:"trace_bytes_counting_100k"`
 }
 
 // Bench is one suite entry.
@@ -91,10 +102,11 @@ func main() {
 		out     = flag.String("o", "", "output path (default: next free BENCH_<n>.json; \"-\" for stdout)")
 		against = flag.String("against", "", "baseline BENCH_<n>.json to compare with; exit 1 on regression")
 		tol     = flag.Float64("tol", 0.20, "allowed fractional ns/op growth vs the baseline")
+		repeat  = flag.Int("repeat", 1, "benchmark passes per entry; the fastest is recorded (min-of-N damps host contention)")
 	)
 	flag.Parse()
 
-	snap, err := runSuite()
+	snap, err := runSuite(*repeat)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bbbench: %v\n", err)
 		os.Exit(1)
@@ -122,8 +134,11 @@ func main() {
 }
 
 // runSuite executes every ledger entry. Each testing.Benchmark call
-// self-calibrates its iteration count (~1 s per entry).
-func runSuite() (*Snapshot, error) {
+// self-calibrates its iteration count (~1 s per entry); with repeat > 1
+// each entry runs that many full passes and the fastest one is recorded —
+// wall-clock noise from a contended host only ever inflates a measurement,
+// so the minimum is the best estimator of the code's true cost.
+func runSuite(repeat int) (*Snapshot, error) {
 	snap := &Snapshot{
 		Schema:     1,
 		GoVersion:  runtime.Version(),
@@ -134,6 +149,11 @@ func runSuite() (*Snapshot, error) {
 	// --- flow-solver micro-benchmarks (mirror internal/flow/bench_test.go).
 	record := func(name string, fn func(b *testing.B)) testing.BenchmarkResult {
 		r := testing.Benchmark(fn)
+		for pass := 1; pass < repeat; pass++ {
+			if cand := testing.Benchmark(fn); cand.NsPerOp() < r.NsPerOp() {
+				r = cand
+			}
+		}
 		snap.Benchmarks = append(snap.Benchmarks, Bench{
 			Name:        name,
 			NsPerOp:     float64(r.NsPerOp()),
@@ -249,6 +269,48 @@ func runSuite() (*Snapshot, error) {
 		ReplicateOnFault: true, DegradedFallback: true,
 	}))
 
+	// --- scale ceiling: generated WfBench-style montage workflows in
+	// counting mode with scratch-lifecycle management — the configuration
+	// whose acceptance bar is "a million tasks in under a minute". Each
+	// entry includes workflow generation, so the ledger prices the whole
+	// `bbsim -gen` path, not just the kernel.
+	scaleRun := func(tasks int) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				swf, err := workloads.Scale(workloads.ScaleSpec{Topology: "montage", Tasks: tasks})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := core.MustNewSimulator(cfg).Run(swf, scaleRunOptions()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	record("scale/100k-tasks", scaleRun(100_000))
+	record("scale/1M-tasks", scaleRun(1_000_000))
+
+	// --- bytes-retained probe: live heap held by a finished run's Result in
+	// retained vs. counting mode, on the 100k-task workflow. The ratio is
+	// the memory argument for the scale modes: counting must retain a small
+	// fraction of what the full event log costs.
+	retBytes, err := retainedBytes(cfg, trace.Retained)
+	if err != nil {
+		return nil, err
+	}
+	cntBytes, err := retainedBytes(cfg, trace.Counting)
+	if err != nil {
+		return nil, err
+	}
+	snap.TraceBytesRetained, snap.TraceBytesCounting = retBytes, cntBytes
+	fmt.Fprintf(os.Stderr, "bbbench: %-32s %12d bytes retained / %d counting\n",
+		"trace/100k-retained-bytes", snap.TraceBytesRetained, snap.TraceBytesCounting)
+	if snap.TraceBytesCounting*5 >= snap.TraceBytesRetained {
+		return nil, fmt.Errorf("counting mode retains %d bytes, more than 1/5 of retained mode's %d — the O(active tasks) contract is broken",
+			snap.TraceBytesCounting, snap.TraceBytesRetained)
+	}
+
 	// --- campaign wall-clock: the fig13 Quick sweep at -j 1 vs -j max.
 	fig13, ok := experiments.Find("fig13")
 	if !ok {
@@ -294,6 +356,42 @@ func runSuite() (*Snapshot, error) {
 	fmt.Fprintf(os.Stderr, "bbbench: flow recompute steady state    %8.1f allocs/op\n",
 		snap.FlowRecomputeAllocsPerOp)
 	return snap, nil
+}
+
+// scaleRunOptions is the scale-run configuration: counting trace plus
+// scratch-lifecycle management (evict after last read, PFS fallback), which
+// keeps both trace memory and BB occupancy O(active tasks).
+func scaleRunOptions() core.RunOptions {
+	return core.RunOptions{
+		StagedFraction: 0.5, IntermediatesToBB: true, PrePlaceInputs: true,
+		EvictAfterLastRead: true, BBFallback: true, TraceMode: trace.Counting,
+	}
+}
+
+// retainedBytes runs the 100k-task montage workflow in the given trace mode
+// and measures the live heap still reachable from its Result after a GC.
+func retainedBytes(cfg platform.Config, mode trace.Mode) (int64, error) {
+	wf, err := workloads.Scale(workloads.ScaleSpec{Topology: "montage", Tasks: 100_000})
+	if err != nil {
+		return 0, err
+	}
+	opts := scaleRunOptions()
+	opts.TraceMode = mode
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	res, err := core.MustNewSimulator(cfg).Run(wf, opts)
+	if err != nil {
+		return 0, err
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	delta := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	// Both snapshots must see the same live workflow, or the generator's
+	// garbage drowns the signal and the delta goes negative.
+	runtime.KeepAlive(wf)
+	runtime.KeepAlive(res)
+	return delta, nil
 }
 
 var avgErrRE = regexp.MustCompile(`average error: ([0-9.]+)%`)

@@ -6,14 +6,18 @@
 //	bbsim -workflow wf.json -platform cori-private -fraction 0.5
 //	bbsim -workflow wf.json -platform my-platform.json -intermediates-bb
 //	bbsim -workflow wf.json -platform summit -trace trace.json
+//	bbsim -gen montage:1000000 -no-trace -evict           # scale run, counters only
+//	bbsim -gen chain:1000 -trace t.jsonl -trace-out jsonl # stream trace to disk
 //
 // The -platform flag accepts a preset name (cori-private, cori-striped,
-// summit) or a path to a platform JSON description.
+// summit) or a path to a platform JSON description. The -gen flag generates
+// a WfBench-style synthetic workflow instead of loading one.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"text/tabwriter"
 
@@ -22,63 +26,135 @@ import (
 	"bbwfsim/internal/core"
 	"bbwfsim/internal/exec"
 	"bbwfsim/internal/platform"
+	"bbwfsim/internal/trace"
 	"bbwfsim/internal/units"
 	"bbwfsim/internal/workflow"
+	"bbwfsim/internal/workloads"
 )
 
 func main() {
-	var (
-		wfPath    = flag.String("workflow", "", "workflow JSON file (required)")
-		platName  = flag.String("platform", "cori-private", "platform preset name or JSON file")
-		nodes     = flag.Int("nodes", 1, "node count for preset platforms")
-		fraction  = flag.Float64("fraction", 0, "fraction of input files staged to the burst buffer [0,1]")
-		interBB   = flag.Bool("intermediates-bb", false, "place intermediate files on the burst buffer")
-		cores     = flag.Int("cores", 0, "override cores per compute task (0 = task request)")
-		prePlace  = flag.Bool("preplace", false, "pre-place workflow inputs on their targets at no cost")
-		tracePath = flag.String("trace", "", "write the full event trace to this JSON file")
-		gantt     = flag.Bool("gantt", false, "print an ASCII Gantt chart of the execution")
-		evict     = flag.Bool("evict", false, "free BB replicas after their last consumer (lifecycle management)")
-		private   = flag.Bool("enforce-private", false, "enforce the private-mode BB visibility rule")
-		nodePol   = flag.String("node-policy", "first-fit", "node selection: first-fit, least-loaded, round-robin")
-		orderPol  = flag.String("order-policy", "fifo", "ready-queue order: fifo, largest-work, critical-path")
-		metricsJS = flag.String("metrics", "", "write the run's observability snapshot to this JSON file")
-		ckptIv    = flag.Float64("ckpt-interval", 0, "checkpoint compute tasks every N seconds of progress (0 = no checkpointing)")
-		ckptTier  = flag.String("ckpt-tier", "bb", "checkpoint target tier: bb or pfs")
-		ckptDrain = flag.Bool("ckpt-drain", false, "asynchronously drain burst-buffer checkpoints to the PFS")
-		ckptDelay = flag.Float64("ckpt-drain-delay", 0, "delay each drain copy by N seconds after its checkpoint commits")
-		ckptSize  = flag.Float64("ckpt-size", 256, "checkpoint snapshot size floor in MiB (tasks with a memory footprint snapshot that instead)")
-		promPath  = flag.String("prom", "", "write the snapshot in Prometheus text format to this file (\"-\" = stdout)")
-		adHigh    = flag.Float64("adapt-high", 0, "spill BB replicas to the PFS above this occupancy fraction (0 = no pressure spill)")
-		adLow     = flag.Float64("adapt-low", 0, "stop spilling below this occupancy fraction (0 = half the high-water mark)")
-		adRepl    = flag.Bool("adapt-replicate", false, "proactively replicate sole-replica inputs of pending tasks after faults")
-		adBudget  = flag.Int("adapt-repl-budget", 0, "cap proactive replication copies per run (0 = unbounded; needs -adapt-replicate)")
-		adDegrade = flag.Bool("adapt-degraded-fallback", false, "route new allocations away from degraded tiers")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if *wfPath == "" {
-		fmt.Fprintln(os.Stderr, "bbsim: -workflow required")
-		os.Exit(2)
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bbsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		wfPath    = fs.String("workflow", "", "workflow JSON file (required unless -gen)")
+		genSpec   = fs.String("gen", "", "generate a synthetic workflow instead of loading one: <topology>:<tasks>[:<width>] with topology chain, forkjoin, or montage")
+		platName  = fs.String("platform", "cori-private", "platform preset name or JSON file")
+		nodes     = fs.Int("nodes", 1, "node count for preset platforms")
+		fraction  = fs.Float64("fraction", 0, "fraction of input files staged to the burst buffer [0,1]")
+		interBB   = fs.Bool("intermediates-bb", false, "place intermediate files on the burst buffer")
+		cores     = fs.Int("cores", 0, "override cores per compute task (0 = task request)")
+		prePlace  = fs.Bool("preplace", false, "pre-place workflow inputs on their targets at no cost")
+		tracePath = fs.String("trace", "", "write the event trace to this file (JSON, or one row per event with -trace-out)")
+		traceOut  = fs.String("trace-out", "", "stream events to -trace as they fire instead of retaining them: jsonl or csv")
+		noTrace   = fs.Bool("no-trace", false, "keep only per-kind event counts — no retained trace, lowest memory")
+		gantt     = fs.Bool("gantt", false, "print an ASCII Gantt chart of the execution")
+		evict     = fs.Bool("evict", false, "free BB replicas after their last consumer (lifecycle management)")
+		private   = fs.Bool("enforce-private", false, "enforce the private-mode BB visibility rule")
+		fallback  = fs.Bool("bb-fallback", false, "redirect writes whose BB target is full to the PFS instead of failing")
+		nodePol   = fs.String("node-policy", "first-fit", "node selection: first-fit, least-loaded, round-robin")
+		orderPol  = fs.String("order-policy", "fifo", "ready-queue order: fifo, largest-work, critical-path")
+		metricsJS = fs.String("metrics", "", "write the run's observability snapshot to this JSON file")
+		ckptIv    = fs.Float64("ckpt-interval", 0, "checkpoint compute tasks every N seconds of progress (0 = no checkpointing)")
+		ckptTier  = fs.String("ckpt-tier", "bb", "checkpoint target tier: bb or pfs")
+		ckptDrain = fs.Bool("ckpt-drain", false, "asynchronously drain burst-buffer checkpoints to the PFS")
+		ckptDelay = fs.Float64("ckpt-drain-delay", 0, "delay each drain copy by N seconds after its checkpoint commits")
+		ckptSize  = fs.Float64("ckpt-size", 256, "checkpoint snapshot size floor in MiB (tasks with a memory footprint snapshot that instead)")
+		promPath  = fs.String("prom", "", "write the snapshot in Prometheus text format to this file (\"-\" = stdout)")
+		adHigh    = fs.Float64("adapt-high", 0, "spill BB replicas to the PFS above this occupancy fraction (0 = no pressure spill)")
+		adLow     = fs.Float64("adapt-low", 0, "stop spilling below this occupancy fraction (0 = half the high-water mark)")
+		adRepl    = fs.Bool("adapt-replicate", false, "proactively replicate sole-replica inputs of pending tasks after faults")
+		adBudget  = fs.Int("adapt-repl-budget", 0, "cap proactive replication copies per run (0 = unbounded; needs -adapt-replicate)")
+		adDegrade = fs.Bool("adapt-degraded-fallback", false, "route new allocations away from degraded tiers")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	wf, err := workflow.Load(*wfPath)
+
+	usage := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "bbsim: "+format+"\n", a...)
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "bbsim: %v\n", err)
+		return 1
+	}
+
+	if (*wfPath == "") == (*genSpec == "") {
+		return usage("exactly one of -workflow or -gen required")
+	}
+	var (
+		wf  *workflow.Workflow
+		err error
+	)
+	if *genSpec != "" {
+		spec, perr := workloads.ParseScaleSpec(*genSpec)
+		if perr != nil {
+			return fail(perr)
+		}
+		wf, err = workloads.Scale(spec)
+	} else {
+		wf, err = workflow.Load(*wfPath)
+	}
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
+
+	// The trace mode decides what the run materializes: everything
+	// (retained, the default), a stream to disk, or counters only. The
+	// retained-only outputs (-gantt, plain -trace) are rejected up front in
+	// the other modes rather than failing after the simulation ran.
+	mode := trace.Retained
+	var sink trace.Sink
+	var sinkFile *os.File
+	switch {
+	case *noTrace:
+		if *tracePath != "" || *traceOut != "" || *gantt {
+			return usage("-no-trace is incompatible with -trace, -trace-out, and -gantt")
+		}
+		mode = trace.Counting
+	case *traceOut != "":
+		if *tracePath == "" {
+			return usage("-trace-out needs -trace <file> for the output path")
+		}
+		if *gantt {
+			return usage("-gantt needs the retained trace; drop -trace-out")
+		}
+		switch *traceOut {
+		case "jsonl", "csv":
+		default:
+			return usage("unknown -trace-out format %q (want jsonl or csv)", *traceOut)
+		}
+		sinkFile, err = os.Create(*tracePath)
+		if err != nil {
+			return fail(err)
+		}
+		if *traceOut == "jsonl" {
+			sink = trace.NewJSONLSink(sinkFile)
+		} else {
+			sink = trace.NewCSVSink(sinkFile)
+		}
+		mode = trace.Streaming
+	}
+
 	cfg, err := loadPlatform(*platName, *nodes)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	sim, err := core.NewSimulator(cfg)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	np, err := parseNodePolicy(*nodePol)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	op, err := parseOrderPolicy(*orderPol)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	var pol ckpt.Policy
 	if *ckptIv > 0 {
@@ -97,6 +173,7 @@ func main() {
 		PrePlaceInputs:           *prePlace,
 		EvictAfterLastRead:       *evict,
 		EnforcePrivateVisibility: *private,
+		BBFallback:               *fallback,
 		NodePolicy:               np,
 		OrderPolicy:              op,
 		Checkpoint:               pol,
@@ -107,18 +184,28 @@ func main() {
 			ReplicationBudget: *adBudget,
 			DegradedFallback:  *adDegrade,
 		},
+		TraceMode: mode,
+		TraceSink: sink,
 	})
 	if err != nil {
-		fatal(err)
+		return fail(err)
+	}
+	if sink != nil {
+		if err := sink.Close(); err != nil {
+			return fail(err)
+		}
+		if err := sinkFile.Close(); err != nil {
+			return fail(err)
+		}
 	}
 
-	fmt.Printf("workflow:  %s (%d tasks, %d files)\n", wf.Name(), len(wf.Tasks()), len(wf.Files()))
-	fmt.Printf("platform:  %s (%d nodes × %d cores)\n", cfg.Name, cfg.Nodes, cfg.CoresPerNode)
-	fmt.Printf("staged:    %.0f%% of input files to BB, intermediates on %s\n",
+	fmt.Fprintf(stdout, "workflow:  %s (%d tasks, %d files)\n", wf.Name(), len(wf.Tasks()), len(wf.Files()))
+	fmt.Fprintf(stdout, "platform:  %s (%d nodes × %d cores)\n", cfg.Name, cfg.Nodes, cfg.CoresPerNode)
+	fmt.Fprintf(stdout, "staged:    %.0f%% of input files to BB, intermediates on %s\n",
 		100**fraction, map[bool]string{true: "BB", false: "PFS"}[*interBB])
-	fmt.Printf("makespan:  %.2f s\n\n", res.Makespan)
+	fmt.Fprintf(stdout, "makespan:  %.2f s\n\n", res.Makespan)
 
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "task\tcount\tmean exec [s]\tmean I/O [s]\tmean compute [s]\tread\twritten")
 	for _, s := range res.Summaries {
 		fmt.Fprintf(tw, "%s\t%d\t%.2f\t%.2f\t%.2f\t%v\t%v\n",
@@ -126,57 +213,64 @@ func main() {
 	}
 	tw.Flush()
 
-	fmt.Printf("\nBB traffic:  %v read (%v avg), %v written (%v avg)\n",
+	fmt.Fprintf(stdout, "\nBB traffic:  %v read (%v avg), %v written (%v avg)\n",
 		res.BB.BytesRead, res.BB.ReadBandwidth(), res.BB.BytesWritten, res.BB.WriteBandwidth())
-	fmt.Printf("PFS traffic: %v read (%v avg), %v written (%v avg)\n",
+	fmt.Fprintf(stdout, "PFS traffic: %v read (%v avg), %v written (%v avg)\n",
 		res.PFS.BytesRead, res.PFS.ReadBandwidth(), res.PFS.BytesWritten, res.PFS.WriteBandwidth())
+	if mode == trace.Counting {
+		fmt.Fprintf(stdout, "events:      %d fired, %d peak pending (counting mode, no retained trace)\n",
+			res.Events, res.PeakPending)
+	}
 
 	if *gantt {
-		fmt.Println()
-		if err := res.Trace.RenderGantt(os.Stdout, 72); err != nil {
-			fatal(err)
+		fmt.Fprintln(stdout)
+		if err := res.Trace.RenderGantt(stdout, 72); err != nil {
+			return fail(err)
 		}
 	}
 
-	if *tracePath != "" {
+	if *tracePath != "" && mode == trace.Retained {
 		if err := res.Trace.Save(*tracePath); err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Printf("trace written to %s\n", *tracePath)
+		fmt.Fprintf(stdout, "trace written to %s\n", *tracePath)
+	}
+	if mode == trace.Streaming {
+		fmt.Fprintf(stdout, "trace streamed to %s (%s)\n", *tracePath, *traceOut)
 	}
 
 	if *metricsJS != "" {
 		data, err := res.Metrics.JSON()
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		if err := os.WriteFile(*metricsJS, data, 0o644); err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Printf("metrics written to %s\n", *metricsJS)
+		fmt.Fprintf(stdout, "metrics written to %s\n", *metricsJS)
 	}
 	if *promPath != "" {
 		if *promPath == "-" {
-			fmt.Println()
-			if err := res.Metrics.WriteProm(os.Stdout); err != nil {
-				fatal(err)
+			fmt.Fprintln(stdout)
+			if err := res.Metrics.WriteProm(stdout); err != nil {
+				return fail(err)
 			}
 		} else {
 			f, err := os.Create(*promPath)
 			if err != nil {
-				fatal(err)
+				return fail(err)
 			}
 			if err := res.Metrics.WriteProm(f); err != nil {
 				f.Close()
-				fatal(err)
+				return fail(err)
 			}
 			if err := f.Close(); err != nil {
-				fatal(err)
+				return fail(err)
 			}
-			fmt.Printf("metrics written to %s\n", *promPath)
+			fmt.Fprintf(stdout, "metrics written to %s\n", *promPath)
 		}
 	}
-	_ = units.Bytes(0)
+	return 0
 }
 
 func parseNodePolicy(s string) (exec.NodePolicy, error) {
@@ -188,7 +282,7 @@ func parseNodePolicy(s string) (exec.NodePolicy, error) {
 	case "round-robin":
 		return exec.NodeRoundRobin, nil
 	}
-	return 0, fmt.Errorf("bbsim: unknown node policy %q", s)
+	return 0, fmt.Errorf("unknown node policy %q", s)
 }
 
 func parseOrderPolicy(s string) (exec.OrderPolicy, error) {
@@ -200,7 +294,7 @@ func parseOrderPolicy(s string) (exec.OrderPolicy, error) {
 	case "critical-path":
 		return exec.OrderCriticalPath, nil
 	}
-	return 0, fmt.Errorf("bbsim: unknown order policy %q", s)
+	return 0, fmt.Errorf("unknown order policy %q", s)
 }
 
 func loadPlatform(name string, nodes int) (platform.Config, error) {
@@ -210,10 +304,5 @@ func loadPlatform(name string, nodes int) (platform.Config, error) {
 	if _, err := os.Stat(name); err == nil {
 		return platform.LoadConfig(name)
 	}
-	return platform.Config{}, fmt.Errorf("bbsim: unknown platform %q (not a preset, not a file)", name)
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "bbsim: %v\n", err)
-	os.Exit(1)
+	return platform.Config{}, fmt.Errorf("unknown platform %q (not a preset, not a file)", name)
 }

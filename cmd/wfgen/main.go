@@ -21,7 +21,8 @@ import (
 
 func main() {
 	var (
-		typ        = flag.String("type", "swarp", "workload: swarp, genomes, chain, fork-join, reduce-tree, broadcast, random-layered")
+		typ        = flag.String("type", "swarp", "workload: swarp, genomes, chain, fork-join, reduce-tree, broadcast, random-layered, scale")
+		scaleSpec  = flag.String("scale", "montage:100000", "scale: generator spec <topology>:<tasks>[:<width>]")
 		pipelines  = flag.Int("pipelines", 1, "swarp: number of pipelines")
 		cores      = flag.Int("cores", 32, "swarp: cores per compute task")
 		chrom      = flag.Int("chromosomes", genomes.DefaultChromosomes, "genomes: chromosomes")
@@ -58,6 +59,12 @@ func main() {
 		wf, err = workloads.Broadcast(*width, wp)
 	case "random-layered":
 		wf, err = workloads.RandomLayered(*seed, 4, *width, 0.3, wp)
+	case "scale":
+		var spec workloads.ScaleSpec
+		if spec, err = workloads.ParseScaleSpec(*scaleSpec); err == nil {
+			spec.Seed = *seed
+			wf, err = workloads.Scale(spec)
+		}
 	default:
 		err = fmt.Errorf("unknown workload type %q", *typ)
 	}

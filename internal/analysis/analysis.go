@@ -195,8 +195,13 @@ var simPackages = map[string]bool{
 // determinism depends on the absence of any concurrency: the event loop,
 // the fluid model, and the task executor that drives them. Concurrency in
 // this repository lives one layer up, in the campaign runner (see
-// runnerIsolationRule) — never inside a run.
-var kernelPackages = map[string]bool{"sim": true, "flow": true, "exec": true, "ckpt": true, "adapt": true}
+// runnerIsolationRule) — never inside a run. The trace package is included
+// because streaming sinks are driven from inside the event loop (Record →
+// Sink.Emit on the hot path).
+var kernelPackages = map[string]bool{
+	"sim": true, "flow": true, "exec": true, "ckpt": true, "adapt": true,
+	"trace": true,
+}
 
 // deterministicOutputPackages additionally covers packages whose output is
 // asserted bit-identical across runs (experiment tables, traces), and the

@@ -81,7 +81,15 @@ var taintSinks = map[string][]sinkSpec{
 		{"Collector", "Add"}, {"Collector", "GaugeMax"},
 		{"Collector", "Observe"}, {"Collector", "Snapshot"},
 	},
-	"trace": {{"Trace", "Record"}, {"Trace", "Save"}, {"Trace", "MarshalJSON"}},
+	"trace": {
+		{"Trace", "Record"}, {"Trace", "Save"}, {"Trace", "MarshalJSON"},
+		// Streaming sinks run inside the event loop; anything nondeterministic
+		// reachable from Emit would perturb simulated output timing.
+		{"JSONLSink", "Emit"}, {"CSVSink", "Emit"},
+	},
+	// The scale generator's output feeds simulations directly; its bytes are
+	// asserted bit-reproducible for a given spec.
+	"workloads": {{"", "Scale"}},
 }
 
 // isTaintSink reports whether a node is a simulation entry point.

@@ -108,6 +108,16 @@ type RunOptions struct {
 	// spill with hysteresis, fault-aware proactive replication, and
 	// degradation-aware admission fallback. The zero value disables it.
 	Adapt adapt.Policy
+	// TraceMode selects how the run materializes its event trace. The zero
+	// value (trace.Retained) keeps every event in memory — the historical
+	// behavior, required by replay/invariant consumers and Trace.Save.
+	// trace.Streaming forwards events to TraceSink; trace.Counting keeps
+	// only per-kind counts and folded summaries. Makespan, Faults, and
+	// Metrics in the Result are identical across modes.
+	TraceMode trace.Mode
+	// TraceSink receives events when TraceMode is trace.Streaming. The
+	// caller owns the sink and must Close it after the run.
+	TraceSink trace.Sink
 }
 
 // FaultStats counts the fault and recovery events of one execution.
@@ -181,6 +191,10 @@ type Result struct {
 	// simulator's deterministic cost metric (wall time is not part of a
 	// Result, so repeated runs stay bit-identical).
 	Events uint64
+	// PeakPending is the event queue's high-water mark — with a counting
+	// trace it bounds the kernel's live memory, which is what makes
+	// million-task runs O(active tasks) rather than O(history).
+	PeakPending int
 	// Faults counts the run's fault and recovery events; all zero on
 	// fault-free runs.
 	Faults FaultStats
@@ -215,8 +229,23 @@ func (s *Simulator) Run(wf *workflow.Workflow, opts RunOptions) (*Result, error)
 		}
 		pol = set
 	}
+	var pre *trace.Trace
+	switch opts.TraceMode {
+	case trace.Retained:
+		// exec builds the default retained trace itself.
+	case trace.Streaming:
+		if opts.TraceSink == nil {
+			return nil, fmt.Errorf("core: TraceMode Streaming requires a TraceSink")
+		}
+		pre = trace.NewStreaming(wf.Name(), s.cfg.Name, opts.TraceSink)
+	case trace.Counting:
+		pre = trace.NewCounting(wf.Name(), s.cfg.Name)
+	default:
+		return nil, fmt.Errorf("core: unknown TraceMode %d", opts.TraceMode)
+	}
 	tr, err := exec.Run(sys, wf, exec.Config{
 		Placement:                pol,
+		Trace:                    pre,
 		CoresPerTask:             opts.CoresPerTask,
 		PrePlaceInputs:           opts.PrePlaceInputs,
 		NodePolicy:               opts.NodePolicy,
@@ -237,14 +266,15 @@ func (s *Simulator) Run(wf *workflow.Workflow, opts RunOptions) (*Result, error)
 	fs := faultStats(tr)
 	finishSnapshot(col, eng, plat, sys, tr, fs)
 	return &Result{
-		Makespan:  tr.Makespan(),
-		Trace:     tr,
-		Summaries: tr.Summarize(),
-		BB:        sys.BBStats(),
-		PFS:       sys.Manager().Stats(sys.PFS()),
-		Events:    eng.EventsFired(),
-		Faults:    fs,
-		Metrics:   col.Snapshot(),
+		Makespan:    tr.Makespan(),
+		Trace:       tr,
+		Summaries:   tr.Summarize(),
+		BB:          sys.BBStats(),
+		PFS:         sys.Manager().Stats(sys.PFS()),
+		Events:      eng.EventsFired(),
+		PeakPending: eng.MaxPending(),
+		Faults:      fs,
+		Metrics:     col.Snapshot(),
 	}, nil
 }
 

@@ -182,8 +182,8 @@ func (e *engine) spillCandidate(svc storage.Service) *workflow.File {
 
 // spillBefore reports whether a spills before b (see spillCandidate).
 func (e *engine) spillBefore(a, b *workflow.File) bool {
-	if e.readers[a] != e.readers[b] {
-		return e.readers[a] < e.readers[b]
+	if e.readers[a.Index()] != e.readers[b.Index()] {
+		return e.readers[a.Index()] < e.readers[b.Index()]
 	}
 	//bbvet:allow float-compare -- declared file sizes are never computed; the tie-break just needs any total order
 	if a.Size() != b.Size() {
@@ -261,7 +261,7 @@ func (e *engine) adaptReplicate(only storage.Service) {
 		return
 	}
 	for _, t := range e.wf.Tasks() {
-		if e.done[t] {
+		if e.done[t.Index()] {
 			continue
 		}
 		for _, f := range t.Inputs() {

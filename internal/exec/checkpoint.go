@@ -43,7 +43,7 @@ type ckptRec struct {
 	// drained marks a PFS replica (direct commit or completed drain): the
 	// snapshot survives any node failure.
 	drained bool
-	drainEv *sim.Event  // pending drain start, if scheduled
+	drainEv sim.Handle  // pending drain start, if scheduled
 	drainOp *storage.Op // in-flight drain copy, if started
 }
 
@@ -103,7 +103,7 @@ func (e *engine) writeCheckpoint(a *attempt) {
 			e.pruneCkpts(t, rec)
 			if e.cfg.Checkpoint.Drain && !rec.drained {
 				rec.drainEv = e.sys.Platform().Engine().After(e.cfg.Checkpoint.DrainDelay, func() {
-					rec.drainEv = nil
+					rec.drainEv = sim.Handle{}
 					e.startDrain(rec)
 				})
 			}
@@ -200,9 +200,9 @@ func (e *engine) pruneCkpts(t *workflow.Task, latest *ckptRec) {
 			kept = append(kept, m)
 			continue
 		}
-		if m.drainEv != nil {
+		if !m.drainEv.Cancelled() {
 			e.sys.Platform().Engine().Cancel(m.drainEv)
-			m.drainEv = nil
+			m.drainEv = sim.Handle{}
 		}
 		if m.svc.Kind() != storage.KindPFS && e.sys.Registry().Has(m.file, m.svc) {
 			if err := e.sys.Manager().Evict(m.file, m.svc); err != nil {
@@ -223,9 +223,9 @@ func (e *engine) pruneCkpts(t *workflow.Task, latest *ckptRec) {
 // drain and evicts every replica. Rotation, not loss — no event is
 // recorded.
 func (e *engine) discardCkpt(m *ckptRec) {
-	if m.drainEv != nil {
+	if !m.drainEv.Cancelled() {
 		e.sys.Platform().Engine().Cancel(m.drainEv)
-		m.drainEv = nil
+		m.drainEv = sim.Handle{}
 	}
 	if m.drainOp != nil {
 		m.drainOp.Cancel()
@@ -264,9 +264,9 @@ func (e *engine) loseCkptReplica(rec *ckptRec, svc storage.Service) {
 		rec.drainOp.Cancel()
 		rec.drainOp = nil
 	}
-	if rec.drainEv != nil {
+	if !rec.drainEv.Cancelled() {
 		e.sys.Platform().Engine().Cancel(rec.drainEv)
-		rec.drainEv = nil
+		rec.drainEv = sim.Handle{}
 	}
 	if !e.sys.Registry().Located(rec.file) {
 		e.removeCkpt(rec)
@@ -341,7 +341,7 @@ func (e *engine) chargeExecuted(a *attempt, completed bool) {
 		return
 	}
 	ex := a.progress - a.restored
-	if !completed && a.computeEv != nil {
+	if !completed && !a.computeEv.Cancelled() {
 		ex += e.now() - a.segStart
 	}
 	e.cfg.Metrics.Add(metrics.ComputeExecutedSecondsTotal,

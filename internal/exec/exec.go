@@ -23,6 +23,7 @@ import (
 	"bbwfsim/internal/ckpt"
 	"bbwfsim/internal/metrics"
 	"bbwfsim/internal/platform"
+	"bbwfsim/internal/sim"
 	"bbwfsim/internal/storage"
 	"bbwfsim/internal/trace"
 	"bbwfsim/internal/workflow"
@@ -132,6 +133,12 @@ type Config struct {
 	// Nil — the default — records nothing; metrics never influence
 	// simulated behavior either way.
 	Metrics *metrics.Collector
+	// Trace, when non-nil, receives the run's events instead of a freshly
+	// built retained trace — the seam for the streaming and counting scale
+	// modes (trace.NewStreaming / trace.NewCounting). It must be empty and
+	// carry the run's workflow and platform names. The engine emits the
+	// exact same event sequence in every mode.
+	Trace *trace.Trace
 }
 
 // Background is a load generator that shares the platform with the
@@ -188,19 +195,23 @@ func Run(sys *storage.System, wf *workflow.Workflow, cfg Config) (*trace.Trace, 
 	if err != nil {
 		return nil, err
 	}
+	tr := cfg.Trace
+	if tr == nil {
+		tr = trace.New(wf.Name(), sys.Platform().Config().Name)
+	}
 	e := &engine{
 		sys:       sys,
 		wf:        wf,
 		cfg:       cfg,
 		sched:     sched,
-		tr:        trace.New(wf.Name(), sys.Platform().Config().Name),
-		remaining: map[*workflow.Task]int{},
-		readers:   map[*workflow.File]int{},
-		done:      map[*workflow.Task]bool{},
-		doneOnce:  map[*workflow.Task]bool{},
-		active:    map[*workflow.Task]*attempt{},
-		tries:     map[*workflow.Task]int{},
-		kills:     map[*workflow.Task]int{},
+		tr:        tr,
+		remaining: make([]int, len(wf.Tasks())),
+		readers:   make([]int, len(wf.Files())),
+		done:      make([]bool, len(wf.Tasks())),
+		doneOnce:  make([]bool, len(wf.Tasks())),
+		active:    make([]*attempt, len(wf.Tasks())),
+		tries:     make([]int, len(wf.Tasks())),
+		kills:     make([]int, len(wf.Tasks())),
 	}
 	if cfg.Faults != nil && cfg.Retry.Jitter > 0 {
 		e.retryRng = rand.New(rand.NewSource(cfg.Retry.Seed))
@@ -214,7 +225,7 @@ func Run(sys *storage.System, wf *workflow.Workflow, cfg Config) (*trace.Trace, 
 		e.ad = newAdaptState(cfg.Adapt)
 	}
 	for _, f := range wf.Files() {
-		e.readers[f] = len(f.Consumers())
+		e.readers[f.Index()] = len(f.Consumers())
 	}
 	if err := e.placeInputs(); err != nil {
 		return nil, err
@@ -229,8 +240,8 @@ func Run(sys *storage.System, wf *workflow.Workflow, cfg Config) (*trace.Trace, 
 		}
 	}
 	for _, t := range wf.Tasks() {
-		e.remaining[t] = len(t.Parents())
-		if e.remaining[t] == 0 {
+		e.remaining[t.Index()] = len(t.Parents())
+		if e.remaining[t.Index()] == 0 {
 			e.pushReady(t)
 		}
 	}
@@ -264,18 +275,23 @@ type engine struct {
 	sched *scheduler
 	tr    *trace.Trace
 
-	remaining map[*workflow.Task]int
-	readers   map[*workflow.File]int // consumers not yet finished
-	ready     []*workflow.Task       // sorted by the scheduler's order
-	done      map[*workflow.Task]bool
+	// Per-task and per-file run state, indexed by Task.Index()/File.Index():
+	// dense slices, not maps — a million-task run touches these on every
+	// event, and the hash+GC cost of pointer-keyed maps dominated profiles.
+	// Checkpoint snapshot files (ckptWf) never appear here; they are
+	// excluded before every readers consultation.
+	remaining []int            // unfinished parents, per task
+	readers   []int            // consumers not yet finished, per file
+	ready     []*workflow.Task // sorted by the scheduler's order
+	done      []bool           // task currently counts as finished
 	// doneOnce stays true once a task has finished at least once, so a
 	// lineage re-execution (recovery.go) cannot double-decrement the
 	// readers counters.
-	doneOnce map[*workflow.Task]bool
-	active   map[*workflow.Task]*attempt
-	tries    map[*workflow.Task]int // attempts started, per task
-	kills    map[*workflow.Task]int // fault-charged failures, per task
-	retryRng *rand.Rand             // jitter stream; nil unless configured
+	doneOnce []bool
+	active   []*attempt // running attempt, per task (nil = none)
+	tries    []int      // attempts started, per task
+	kills    []int      // fault-charged failures, per task
+	retryRng *rand.Rand // jitter stream; nil unless configured
 
 	// Checkpoint state (checkpoint.go); all nil/zero unless the run has a
 	// checkpoint policy.
@@ -373,7 +389,13 @@ func (e *engine) schedule() {
 	defer func() { e.inSchedule = false }()
 	for {
 		started := false
-		for i := 0; i < len(e.ready); i++ {
+		// Saturation early-exit: every task needs at least one core, so once
+		// no up node has a free core the rest of the ready scan can only
+		// produce nil picks. Skipping it changes nothing observable but turns
+		// the per-completion cost from O(ready) into O(started + nodes) — the
+		// difference between hours and seconds on million-task ready queues.
+		free := e.freeCores()
+		for i := 0; i < len(e.ready) && free > 0; i++ {
 			t := e.ready[i]
 			chosen, cores := e.sched.pick(t, e.sys.Platform().Nodes(), e.cores)
 			if chosen == nil {
@@ -385,6 +407,7 @@ func (e *engine) schedule() {
 				e.fail(fmt.Errorf("exec: resource accounting bug scheduling %s", t.ID()))
 				return
 			}
+			free -= cores
 			e.running++
 			started = true
 			e.startTask(t, chosen, cores)
@@ -392,16 +415,30 @@ func (e *engine) schedule() {
 				return
 			}
 		}
+		// Synchronous completions inside startTask (zero-cost stage-ins) may
+		// have released cores the local counter cannot see; the rescan below
+		// recounts, so the fixpoint is the same as an unbounded scan.
 		if !started {
 			return
 		}
 	}
 }
 
+// freeCores sums the free cores of every up node.
+func (e *engine) freeCores() int {
+	total := 0
+	for _, n := range e.sys.Platform().Nodes() {
+		if !n.Down() {
+			total += n.FreeCores()
+		}
+	}
+	return total
+}
+
 func (e *engine) startTask(t *workflow.Task, node *platform.Node, cores int) {
-	e.tries[t]++
-	a := &attempt{task: t, node: node, cores: cores, n: e.tries[t]}
-	e.active[t] = a
+	e.tries[t.Index()]++
+	a := &attempt{task: t, node: node, cores: cores, n: e.tries[t.Index()]}
+	e.active[t.Index()] = a
 	rec := e.tr.Task(t.ID())
 	rec.Name = t.Name()
 	rec.Node = node.Name()
@@ -685,7 +722,7 @@ func (e *engine) computeSegment(a *attempt) {
 	}
 	a.segStart = e.now()
 	a.computeEv = e.sys.Platform().Engine().After(seg, func() {
-		a.computeEv = nil
+		a.computeEv = sim.Handle{}
 		a.progress += seg
 		if ckptAfter {
 			e.writeCheckpoint(a)
@@ -780,19 +817,22 @@ func (e *engine) finishTask(a *attempt) {
 	e.tr.Record(e.now(), trace.TaskEnd, t.ID(), "")
 	e.commitPhases(t, rec)
 	e.chargeExecuted(a, true)
+	// Scale modes fold the finished record into its per-name summary here,
+	// keeping live trace state O(active tasks); retained traces no-op.
+	e.tr.Release(t.ID())
 	e.clearCkpts(t)
 	a.node.ReleaseResources(a.cores, t.Memory())
 	e.running--
-	delete(e.active, t)
+	e.active[t.Index()] = nil
 	a.ops = nil
-	e.done[t] = true
+	e.done[t.Index()] = true
 	e.finished++
-	first := !e.doneOnce[t]
-	e.doneOnce[t] = true
+	first := !e.doneOnce[t.Index()]
+	e.doneOnce[t.Index()] = true
 	if e.cfg.EvictAfterLastRead && first {
 		for _, f := range t.Inputs() {
-			e.readers[f]--
-			if e.readers[f] == 0 {
+			e.readers[f.Index()]--
+			if e.readers[f.Index()] == 0 {
 				e.evictScratch(f)
 			}
 		}
@@ -801,11 +841,11 @@ func (e *engine) finishTask(a *attempt) {
 		// Guards matter only under fault injection: a lineage re-execution
 		// must not decrement children that already ran (done) or that are
 		// not waiting on dependencies (remaining 0: running or retrying).
-		if e.done[c] || e.remaining[c] == 0 {
+		if e.done[c.Index()] || e.remaining[c.Index()] == 0 {
 			continue
 		}
-		e.remaining[c]--
-		if e.remaining[c] == 0 {
+		e.remaining[c.Index()]--
+		if e.remaining[c.Index()] == 0 {
 			e.pushReady(c)
 		}
 	}

@@ -20,7 +20,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 
 	"bbwfsim/internal/metrics"
 	"bbwfsim/internal/platform"
@@ -162,7 +161,7 @@ type attempt struct {
 	phase     phase
 	aborted   bool
 	ops       []*storage.Op // in-flight and completed ops, start order
-	computeEv *sim.Event
+	computeEv sim.Handle    // pending compute-segment completion, if scheduled
 
 	// Compute-phase segmentation (checkpoint.go). computeTotal is the full
 	// compute duration of this attempt; progress counts the seconds whose
@@ -190,20 +189,21 @@ func (e *engine) track(a *attempt, op *storage.Op) {
 // System implements FaultController.
 func (e *engine) System() *storage.System { return e.sys }
 
-// Running implements FaultController: running tasks in index order.
+// Running implements FaultController: running tasks in index order (the
+// active slice is indexed by task index, so iteration order is index order).
 func (e *engine) Running() []*workflow.Task {
 	var ts []*workflow.Task
-	//bbvet:ordered -- collected tasks are sorted by index immediately below
-	for t := range e.active {
-		ts = append(ts, t)
+	for _, a := range e.active {
+		if a != nil {
+			ts = append(ts, a.task)
+		}
 	}
-	sort.Slice(ts, func(i, j int) bool { return ts[i].Index() < ts[j].Index() })
 	return ts
 }
 
 // NodeOf implements FaultController.
 func (e *engine) NodeOf(t *workflow.Task) *platform.Node {
-	if a := e.active[t]; a != nil {
+	if a := e.active[t.Index()]; a != nil {
 		return a.node
 	}
 	return nil
@@ -231,7 +231,7 @@ func (e *engine) KillTask(t *workflow.Task, reason string) {
 	if e.err != nil {
 		return
 	}
-	a := e.active[t]
+	a := e.active[t.Index()]
 	if a == nil {
 		return
 	}
@@ -248,20 +248,20 @@ func (e *engine) crashAttempt(a *attempt, reason string) {
 	if e.err != nil {
 		return
 	}
-	e.kills[t]++
-	if e.kills[t] > e.cfg.Retry.MaxRetries {
+	e.kills[t.Index()]++
+	if e.kills[t.Index()] > e.cfg.Retry.MaxRetries {
 		e.fail(fmt.Errorf("exec: task %s failed permanently (%s): retry budget %d exhausted",
 			t.ID(), reason, e.cfg.Retry.MaxRetries))
 		return
 	}
-	delay := e.cfg.Retry.delay(e.kills[t], e.retryRng)
+	delay := e.cfg.Retry.delay(e.kills[t.Index()], e.retryRng)
 	e.sys.Platform().Engine().After(delay, func() {
 		// The task may have been parked behind a resurrected producer in
 		// the meantime; the dependency machinery re-queues it then.
-		if e.err != nil || e.done[t] || e.active[t] != nil || e.remaining[t] > 0 || e.inReady(t) {
+		if e.err != nil || e.done[t.Index()] || e.active[t.Index()] != nil || e.remaining[t.Index()] > 0 || e.inReady(t) {
 			return
 		}
-		e.tr.Record(e.now(), trace.TaskRetry, t.ID(), fmt.Sprintf("attempt %d", e.tries[t]+1))
+		e.tr.Record(e.now(), trace.TaskRetry, t.ID(), fmt.Sprintf("attempt %d", e.tries[t.Index()]+1))
 		e.pushReady(t)
 		e.schedule()
 	})
@@ -275,7 +275,7 @@ func (e *engine) FailNode(n *platform.Node, cause string) {
 	n.SetDown(true)
 	e.tr.Record(e.now(), trace.NodeFail, "", n.Name()+": "+cause)
 	for _, t := range e.Running() {
-		a := e.active[t]
+		a := e.active[t.Index()]
 		if a != nil && a.node == n {
 			e.crashAttempt(a, "node "+n.Name()+" failed")
 			if e.err != nil {
@@ -313,9 +313,9 @@ func (e *engine) abortAttempt(a *attempt) {
 	e.cfg.Metrics.Add(metrics.TaskAbortedSecondsTotal,
 		metrics.Key{Task: a.task.Name()}, e.now()-e.tr.Task(a.task.ID()).StartedAt)
 	e.chargeExecuted(a, false)
-	if a.computeEv != nil {
+	if !a.computeEv.Cancelled() {
 		e.sys.Platform().Engine().Cancel(a.computeEv)
-		a.computeEv = nil
+		a.computeEv = sim.Handle{}
 	}
 	for _, op := range a.ops {
 		op.Cancel() // no-op for ops that already completed
@@ -323,7 +323,7 @@ func (e *engine) abortAttempt(a *attempt) {
 	a.ops = nil
 	a.node.ReleaseResources(a.cores, a.task.Memory())
 	e.running--
-	delete(e.active, a.task)
+	e.active[a.task.Index()] = nil
 	e.dropOutputs(a.task)
 }
 
@@ -422,14 +422,14 @@ func (e *engine) recoverLostFile(f *workflow.File) {
 // pending state; children past their read phase hold their inputs in memory
 // and keep running.
 func (e *engine) resurrect(p *workflow.Task) {
-	if e.err != nil || !e.done[p] {
+	if e.err != nil || !e.done[p.Index()] {
 		return // already pending, ready, or running again
 	}
 	for _, c := range p.Children() {
-		if e.done[c] {
+		if e.done[c.Index()] {
 			continue
 		}
-		if a := e.active[c]; a != nil {
+		if a := e.active[c.Index()]; a != nil {
 			if a.phase != phaseRead {
 				continue
 			}
@@ -441,13 +441,13 @@ func (e *engine) resurrect(p *workflow.Task) {
 		} else {
 			e.removeReady(c)
 		}
-		e.remaining[c]++
+		e.remaining[c.Index()]++
 	}
 	e.dropOutputs(p)
 	if e.err != nil {
 		return
 	}
-	e.done[p] = false
+	e.done[p.Index()] = false
 	e.finished--
 	e.tr.Record(e.now(), trace.TaskRetry, p.ID(), "re-execution: output replica lost")
 	e.pushReady(p)
@@ -466,14 +466,14 @@ func (e *engine) recoverLostInput(a *attempt, f *workflow.File) bool {
 	if p == nil {
 		return false
 	}
-	if e.done[p] {
+	if e.done[p.Index()] {
 		e.resurrect(p) // aborts a: it is a read-phase consumer of p
 	}
-	if e.active[a.task] == a && !a.aborted {
+	if e.active[a.task.Index()] == a && !a.aborted {
 		// Producer is already re-running; park this attempt behind it.
 		e.abortAttempt(a)
 		e.tr.Record(e.now(), trace.TaskFail, a.task.ID(), "lost input "+f.ID())
-		e.remaining[a.task]++
+		e.remaining[a.task.Index()]++
 	}
 	e.schedule()
 	return true

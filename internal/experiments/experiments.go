@@ -227,6 +227,7 @@ func All() []Experiment {
 		{"resilience-ckpt", "Resilience: checkpoint/restart policy study (interval × tier × failure rate)", RunResilienceCkpt},
 		{"adaptive", "Graceful degradation: static vs. adaptive vs. oracle placement under BB pressure", RunAdaptive},
 		{"scalability", "Simulator cost vs. workflow size", RunScalability},
+		{"scale", "Simulator ceiling on generated million-task-class workflows", RunScale},
 	}
 }
 

@@ -61,7 +61,7 @@ type Flow struct {
 	rate      float64
 	onDone    func()
 	started   float64 // virtual time the flow became active
-	latEv     *sim.Event
+	latEv     sim.Handle
 	active    bool
 	done      bool
 	frozen    bool // scratch for progressive filling
@@ -92,7 +92,7 @@ type Network struct {
 	resources []*Resource
 	active    []*Flow
 	settled   float64 // virtual time of the last settle
-	nextEv    *sim.Event
+	nextEv    sim.Handle
 
 	// Hot-path scratch, reused across recomputes so the steady state
 	// allocates nothing (asserted by TestRecomputeZeroAllocs):
@@ -144,6 +144,26 @@ func (n *Network) NewResource(name string, capacity float64) *Resource {
 // ActiveFlows returns the number of currently active flows.
 func (n *Network) ActiveFlows() int { return len(n.active) }
 
+// Reset prepares the network for another run on the same resources after
+// its engine was Reset: the settle clock, solver counters, and per-resource
+// processed totals return to zero while the registered resources and the
+// hot-path scratch (and its warmed-up capacity) are kept. Resetting with
+// flows still active panics — cancel or drain them first. The recompute
+// generation is deliberately NOT reset: it only ever grows, so stale
+// Resource.gen stamps from the previous run read as "not yet visited".
+func (n *Network) Reset() {
+	if len(n.active) > 0 {
+		panic(fmt.Sprintf("flow: Reset with %d active flows", len(n.active)))
+	}
+	n.settled = n.eng.Now()
+	n.nextEv = sim.Handle{}
+	n.minDt = math.Inf(1)
+	n.stats = Stats{}
+	for _, r := range n.resources {
+		r.processed = 0
+	}
+}
+
 // Stats returns the cumulative solver counters.
 func (n *Network) Stats() Stats { return n.stats }
 
@@ -180,7 +200,52 @@ func (n *Network) StartFlow(amount float64, path []*Resource, opts Options, onDo
 		cap = math.Inf(1)
 	}
 	// The path is a set: a flow consumes a resource's share once no matter
-	// how often the resource appears in the route description.
+	// how often the resource appears in the route description. Paths are
+	// almost always duplicate-free already (storage services hand out cached
+	// immutable paths), so the common case aliases the caller's slice rather
+	// than copying it; callers must not mutate a path while its flow is
+	// active. Only a path with repeats (e.g. a copy looping through the same
+	// link) pays for a deduplicated copy.
+	dedup := path
+	if hasDuplicate(path) {
+		dedup = dedupPath(path)
+	}
+	n.stats.FlowsStarted++
+	f := &Flow{
+		net:       n,
+		path:      dedup,
+		remaining: amount,
+		amount:    amount,
+		rateCap:   cap,
+		onDone:    onDone,
+	}
+	if opts.Latency > 0 {
+		f.latEv = n.eng.After(opts.Latency, func() {
+			f.latEv = sim.Handle{}
+			n.activate(f)
+		})
+	} else {
+		n.activate(f)
+	}
+	return f
+}
+
+// hasDuplicate reports whether path mentions any resource twice. Paths are
+// 1-6 resources long, so the quadratic scan beats any map or sort.
+func hasDuplicate(path []*Resource) bool {
+	for i, r := range path {
+		for _, d := range path[:i] {
+			if d == r {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// dedupPath returns a copy of path with repeats removed, preserving first
+// occurrence order.
+func dedupPath(path []*Resource) []*Resource {
 	dedup := make([]*Resource, 0, len(path))
 	for _, r := range path {
 		seen := false
@@ -194,24 +259,7 @@ func (n *Network) StartFlow(amount float64, path []*Resource, opts Options, onDo
 			dedup = append(dedup, r)
 		}
 	}
-	n.stats.FlowsStarted++
-	f := &Flow{
-		net:       n,
-		path:      dedup,
-		remaining: amount,
-		amount:    amount,
-		rateCap:   cap,
-		onDone:    onDone,
-	}
-	if opts.Latency > 0 {
-		f.latEv = n.eng.After(opts.Latency, func() {
-			f.latEv = nil
-			n.activate(f)
-		})
-	} else {
-		n.activate(f)
-	}
-	return f
+	return dedup
 }
 
 func (n *Network) activate(f *Flow) {
@@ -240,9 +288,9 @@ func (f *Flow) Cancel() {
 		return
 	}
 	n := f.net
-	if f.latEv != nil {
+	if !f.latEv.Cancelled() {
 		n.eng.Cancel(f.latEv)
-		f.latEv = nil
+		f.latEv = sim.Handle{}
 		f.done = true
 		return
 	}
@@ -419,10 +467,8 @@ func (n *Network) recompute() {
 // folded into minDt by the recompute that every call site runs first, so
 // this is O(1): no rescan of the active set.
 func (n *Network) schedule() {
-	if n.nextEv != nil {
-		n.eng.Cancel(n.nextEv)
-		n.nextEv = nil
-	}
+	n.eng.Cancel(n.nextEv) // stale or zero handles are no-ops
+	n.nextEv = sim.Handle{}
 	if len(n.active) == 0 {
 		return
 	}
@@ -437,7 +483,7 @@ func (n *Network) schedule() {
 }
 
 func (n *Network) onCompletion() {
-	n.nextEv = nil
+	n.nextEv = sim.Handle{}
 	n.settle()
 	// Collect finished flows first: completion callbacks may start new flows
 	// and we want a single consistent recompute before any callback runs.

@@ -1,0 +1,66 @@
+package flow
+
+import (
+	"testing"
+
+	"bbwfsim/internal/sim"
+)
+
+// runScenario drives a small contention scenario to completion and returns
+// the completion times, in start order.
+func runScenario(e *sim.Engine, n *Network, a, b *Resource) [3]float64 {
+	var times [3]float64
+	n.StartFlow(1000, []*Resource{a}, Options{}, func() { times[0] = e.Now() })
+	n.StartFlow(1000, []*Resource{a, b}, Options{Latency: 0.5}, func() { times[1] = e.Now() })
+	n.StartFlow(500, []*Resource{b}, Options{RateCap: 40}, func() { times[2] = e.Now() })
+	e.Run()
+	return times
+}
+
+// TestNetworkResetReuse: after Engine.Reset + Network.Reset, the same
+// engine and network replay a scenario to bit-identical completion times,
+// with the per-resource accounting starting over from zero.
+func TestNetworkResetReuse(t *testing.T) {
+	e := sim.NewEngine()
+	n := NewNetwork(e)
+	a := n.NewResource("a", 100)
+	b := n.NewResource("b", 80)
+
+	first := runScenario(e, n, a, b)
+	procA, procB := a.Processed(), b.Processed()
+	if n.ActiveFlows() != 0 {
+		t.Fatalf("%d flows still active after drain", n.ActiveFlows())
+	}
+
+	e.Reset()
+	n.Reset()
+	if got := a.Processed(); got != 0 {
+		t.Fatalf("a.Processed() = %v after Reset, want 0", got)
+	}
+	if st := n.Stats(); st.Recomputes != 0 || st.FlowsStarted != 0 {
+		t.Fatalf("stats not cleared: %+v", st)
+	}
+
+	second := runScenario(e, n, a, b)
+	if first != second {
+		t.Fatalf("replay diverged: first %v, second %v", first, second)
+	}
+	if a.Processed() != procA || b.Processed() != procB {
+		t.Fatalf("processed totals diverged: (%v,%v) vs (%v,%v)", a.Processed(), b.Processed(), procA, procB)
+	}
+}
+
+// TestResetWithActiveFlowsPanics pins the guard: a reset under live flows
+// would corrupt the solver's accounting, so it must refuse loudly.
+func TestResetWithActiveFlowsPanics(t *testing.T) {
+	e := sim.NewEngine()
+	n := NewNetwork(e)
+	r := n.NewResource("link", 10)
+	n.StartFlow(1000, []*Resource{r}, Options{}, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reset with an active flow did not panic")
+		}
+	}()
+	n.Reset()
+}

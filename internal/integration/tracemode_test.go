@@ -1,0 +1,213 @@
+package integration
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"testing"
+
+	"bbwfsim/internal/adapt"
+	"bbwfsim/internal/core"
+	"bbwfsim/internal/exec"
+	"bbwfsim/internal/faults"
+	"bbwfsim/internal/genomes"
+	"bbwfsim/internal/platform"
+	"bbwfsim/internal/runner"
+	"bbwfsim/internal/swarp"
+	"bbwfsim/internal/trace"
+)
+
+// modeCase is one simulation configuration the trace-mode equivalence suite
+// replays under every trace mode: a calibration-style fault-free run, a
+// fault-campaign run, and an adaptation run, covering every Result field a
+// mode could plausibly perturb.
+type modeCase struct {
+	name string
+	run  func(mode trace.Mode, sink trace.Sink) (*core.Result, error)
+}
+
+func modeCases() []modeCase {
+	return []modeCase{
+		{"fig10-like", func(mode trace.Mode, sink trace.Sink) (*core.Result, error) {
+			wf := genomes.MustNew(genomes.Params{Chromosomes: 3})
+			sim := core.MustNewSimulator(platform.Cori(4, platform.BBPrivate))
+			return sim.Run(wf, core.RunOptions{
+				PrePlaceInputs: true, StagedFraction: 1, IntermediatesToBB: true,
+				TraceMode: mode, TraceSink: sink,
+			})
+		}},
+		{"resilience-like", func(mode trace.Mode, sink trace.Sink) (*core.Result, error) {
+			inj, err := faults.New(faults.Config{
+				Seed:        41,
+				TaskCrash:   &faults.CrashProcess{Arrival: faults.Exp(80), Budget: 8},
+				NodeFailure: &faults.NodeProcess{Arrival: faults.Exp(200), MTTR: 40, Budget: 2},
+				BBReject:    &faults.RejectPolicy{Prob: 0.1},
+				BBDegrade:   &faults.DegradeProcess{Arrival: faults.Exp(100), Duration: 20, Factor: 0.3},
+			})
+			if err != nil {
+				return nil, err
+			}
+			wf := genomes.MustNew(genomes.Params{Chromosomes: 4})
+			sim := core.MustNewSimulator(platform.Cori(4, platform.BBPrivate))
+			return sim.Run(wf, core.RunOptions{
+				PrePlaceInputs: true, StagedFraction: 1, IntermediatesToBB: true,
+				Faults: inj,
+				Retry: exec.RetryPolicy{
+					MaxRetries: 100, Backoff: exec.BackoffExponential,
+					BaseDelay: 2, MaxDelay: 60, Jitter: 0.25, Seed: 13,
+				},
+				BBFallback: true,
+				TraceMode:  mode, TraceSink: sink,
+			})
+		}},
+		{"adaptive-like", func(mode trace.Mode, sink trace.Sink) (*core.Result, error) {
+			inj, err := faults.New(faults.Config{
+				Seed:      7,
+				BBDegrade: &faults.DegradeProcess{Arrival: faults.Exp(60), Duration: 25, Factor: 0.3},
+			})
+			if err != nil {
+				return nil, err
+			}
+			wf := swarp.MustNew(swarp.Params{Pipelines: 4, CoresPerTask: 8})
+			sim := core.MustNewSimulator(platform.Cori(1, platform.BBPrivate))
+			return sim.Run(wf, core.RunOptions{
+				StagedFraction: 1, IntermediatesToBB: true, BBFallback: true,
+				Faults: inj,
+				Adapt: adapt.Policy{
+					SpillHighWater: 0.5, ReplicateOnFault: true, DegradedFallback: true,
+				},
+				TraceMode: mode, TraceSink: sink,
+			})
+		}},
+	}
+}
+
+// fingerprint reduces a Result to the fields every trace mode must agree
+// on, with the makespan kept at full bit precision. Summaries are excluded:
+// under fault-driven re-execution the scale modes deliberately count a task
+// once per execution (Release folds each completed attempt) while the
+// retained mode summarizes only each task's final record — the fault-free
+// case asserts summary equality separately.
+func fingerprint(t *testing.T, res *core.Result) string {
+	t.Helper()
+	metricsJSON, err := res.Metrics.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fmt.Sprintf("makespan=%016x events=%d peak=%d faults=%+v bb=%+v pfs=%+v metrics=%s",
+		math.Float64bits(res.Makespan), res.Events, res.PeakPending,
+		res.Faults, res.BB, res.PFS, metricsJSON)
+}
+
+// TestTraceModesEquivalent is the scale-mode safety argument: for a
+// calibration run, a fault campaign, and an adaptation run, the streaming
+// and counting traces must yield bit-identical Results (makespan, event and
+// fault counters, summaries, metrics) to the retained mode — the trace is
+// pure observation, never part of the simulation's causality. The whole
+// matrix also runs under the parallel runner at -j1 and -j8 to pin that
+// worker scheduling cannot leak into any mode either.
+func TestTraceModesEquivalent(t *testing.T) {
+	cases := modeCases()
+	modes := []trace.Mode{trace.Retained, trace.Streaming, trace.Counting}
+	type cell struct{ fp string }
+	runMatrix := func(jobs int) []cell {
+		out, err := runner.Map(jobs, len(cases)*len(modes), func(i int) (cell, error) {
+			c, mode := cases[i/len(modes)], modes[i%len(modes)]
+			var sink trace.Sink
+			if mode == trace.Streaming {
+				sink = trace.NewJSONLSink(io.Discard)
+			}
+			res, err := c.run(mode, sink)
+			if err != nil {
+				return cell{}, fmt.Errorf("%s mode %d: %w", c.name, mode, err)
+			}
+			if sink != nil {
+				if err := sink.Close(); err != nil {
+					return cell{}, err
+				}
+			}
+			if mode == trace.Retained && len(res.Trace.Events()) == 0 {
+				return cell{}, fmt.Errorf("%s: retained trace has no events", c.name)
+			}
+			if mode != trace.Retained && len(res.Trace.Events()) != 0 {
+				return cell{}, fmt.Errorf("%s mode %d: non-retained trace retained events", c.name, mode)
+			}
+			return cell{fp: fingerprint(t, res)}, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	seq := runMatrix(1)
+	for ci, c := range cases {
+		base := seq[ci*len(modes)].fp
+		for mi := 1; mi < len(modes); mi++ {
+			if got := seq[ci*len(modes)+mi].fp; got != base {
+				t.Errorf("%s: mode %d result diverges from retained:\n  retained: %s\n  mode:     %s",
+					c.name, modes[mi], base, got)
+			}
+		}
+	}
+	par := runMatrix(8)
+	for i := range seq {
+		if seq[i].fp != par[i].fp {
+			t.Errorf("cell %d: -j8 result diverges from -j1", i)
+		}
+	}
+}
+
+// TestFaultFreeSummariesEqualAcrossModes: without re-execution, the folded
+// per-name summaries of the scale modes must be exactly the retained
+// Summarize output — same names, counts, means, and byte totals.
+func TestFaultFreeSummariesEqualAcrossModes(t *testing.T) {
+	c := modeCases()[0] // fig10-like, fault-free
+	var want []byte
+	for _, mode := range []trace.Mode{trace.Retained, trace.Streaming, trace.Counting} {
+		var sink trace.Sink
+		if mode == trace.Streaming {
+			sink = trace.NewJSONLSink(io.Discard)
+		}
+		res, err := c.run(mode, sink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := json.Marshal(res.Summaries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mode == trace.Retained {
+			want = got
+		} else if string(got) != string(want) {
+			t.Errorf("mode %d summaries differ:\n  retained: %s\n  mode:     %s", mode, want, got)
+		}
+	}
+}
+
+// TestRetainedTraceBytesStableAcrossJobs: the retained trace — the goldens'
+// format — serializes to byte-identical JSON no matter how many runner
+// workers are active around it.
+func TestRetainedTraceBytesStableAcrossJobs(t *testing.T) {
+	cases := modeCases()
+	collect := func(jobs int) [][]byte {
+		out, err := runner.Map(jobs, len(cases), func(i int) ([]byte, error) {
+			res, err := cases[i].run(trace.Retained, nil)
+			if err != nil {
+				return nil, err
+			}
+			return json.Marshal(res.Trace)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	seq, par := collect(1), collect(8)
+	for i, c := range cases {
+		if string(seq[i]) != string(par[i]) {
+			t.Errorf("%s: retained trace bytes differ between -j1 and -j8", c.name)
+		}
+	}
+}

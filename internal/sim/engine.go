@@ -14,19 +14,32 @@ import (
 	"math"
 )
 
-// Event is a scheduled callback. It is returned by the scheduling methods so
-// callers can cancel it. An Event must not be reused after it fires or is
-// cancelled.
+// Event is a scheduled callback. Events are pooled: once an event fires or
+// is cancelled it returns to the engine's free list and may be reused by a
+// later At/After. Callers therefore never hold *Event directly — scheduling
+// returns a Handle that pairs the pointer with the generation it was issued
+// for, so operations on a stale handle are safe no-ops.
 type Event struct {
 	Time float64 // virtual time at which the event fires, in seconds
 	fn   func()
 	seq  uint64 // tie-breaker: same-time events fire in scheduling order
 	idx  int    // heap index, -1 once removed
+	gen  uint64 // bumped on retirement; invalidates outstanding Handles
 }
 
-// Cancelled reports whether the event was removed from the queue before
-// firing (or has already fired).
-func (e *Event) Cancelled() bool { return e.idx < 0 }
+// Handle identifies one scheduled occurrence of a pooled event. The zero
+// Handle is valid and behaves like an event that already fired: Cancelled
+// reports true and Engine.Cancel is a no-op.
+type Handle struct {
+	ev  *Event
+	gen uint64
+}
+
+// Cancelled reports whether the handle's occurrence was removed from the
+// queue before firing (or has already fired). A zero Handle is Cancelled.
+func (h Handle) Cancelled() bool {
+	return h.ev == nil || h.ev.gen != h.gen || h.ev.idx < 0
+}
 
 type eventHeap []*Event
 
@@ -63,6 +76,7 @@ func (h *eventHeap) Pop() any {
 type Engine struct {
 	now     float64
 	queue   eventHeap
+	free    []*Event // retired events awaiting reuse (O(peak pending))
 	seq     uint64
 	running bool
 	stopped bool
@@ -94,7 +108,7 @@ func (e *Engine) MaxPending() int { return e.maxPend }
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: it always indicates a modeling bug, and silently clamping would
 // corrupt causality.
-func (e *Engine) At(t float64, fn func()) *Event {
+func (e *Engine) At(t float64, fn func()) Handle {
 	if math.IsNaN(t) {
 		panic("sim: scheduling at NaN time")
 	}
@@ -104,36 +118,81 @@ func (e *Engine) At(t float64, fn func()) *Event {
 	if fn == nil {
 		panic("sim: scheduling nil callback")
 	}
-	ev := &Event{Time: t, fn: fn, seq: e.seq}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &Event{}
+	}
+	ev.Time = t
+	ev.fn = fn
+	ev.seq = e.seq
 	e.seq++
 	heap.Push(&e.queue, ev)
 	if len(e.queue) > e.maxPend {
 		e.maxPend = len(e.queue)
 	}
-	return ev
+	return Handle{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d seconds from now. Negative delays panic.
-func (e *Engine) After(d float64, fn func()) *Event {
+func (e *Engine) After(d float64, fn func()) Handle {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %g", d))
 	}
 	return e.At(e.now+d, fn)
 }
 
-// Cancel removes a pending event from the queue. Cancelling an event that
-// already fired or was already cancelled is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.idx < 0 {
+// retire returns a popped or removed event to the free list. Bumping the
+// generation first invalidates every outstanding Handle to this occurrence,
+// so the struct can be reused immediately — even by a callback scheduled
+// from inside the event's own fn.
+func (e *Engine) retire(ev *Event) {
+	ev.gen++
+	ev.fn = nil
+	ev.idx = -1
+	e.free = append(e.free, ev)
+}
+
+// Cancel removes a pending event from the queue. Cancelling a handle whose
+// event already fired or was already cancelled is a no-op — the generation
+// check makes stale handles harmless even after the pooled Event struct has
+// been reissued to an unrelated caller.
+func (e *Engine) Cancel(h Handle) {
+	ev := h.ev
+	if ev == nil || ev.gen != h.gen || ev.idx < 0 {
 		return
 	}
 	heap.Remove(&e.queue, ev.idx)
-	ev.idx = -1
-	ev.fn = nil
+	e.retire(ev)
 }
 
 // Stop makes Run return after the currently executing event completes.
 func (e *Engine) Stop() { e.stopped = true }
+
+// Reset returns the engine to its initial state — clock at zero, queue
+// empty, counters cleared — while keeping the retired-event free list, so a
+// reused engine's warm-up cost is paid once across sequential runs. Any
+// still-pending events are retired exactly as Cancel would retire them:
+// their outstanding Handles read Cancelled and the structs are reusable.
+// Resetting mid-Run panics.
+func (e *Engine) Reset() {
+	if e.running {
+		panic("sim: Reset during Run")
+	}
+	for i, ev := range e.queue {
+		e.queue[i] = nil
+		e.retire(ev)
+	}
+	e.queue = e.queue[:0]
+	e.now = 0
+	e.seq = 0
+	e.fired = 0
+	e.maxPend = 0
+	e.stopped = false
+}
 
 // Run executes events in time order until the queue drains or Stop is
 // called. It returns the final virtual time.
@@ -164,7 +223,7 @@ func (e *Engine) RunUntil(horizon float64) float64 {
 		}
 		e.now = next.Time
 		fn := next.fn
-		next.fn = nil
+		e.retire(next)
 		e.fired++
 		fn()
 	}
@@ -184,7 +243,7 @@ func (e *Engine) Step() bool {
 	next := heap.Pop(&e.queue).(*Event)
 	e.now = next.Time
 	fn := next.fn
-	next.fn = nil
+	e.retire(next)
 	e.fired++
 	fn()
 	return true

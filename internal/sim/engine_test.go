@@ -66,15 +66,15 @@ func TestCancelPreventsFiring(t *testing.T) {
 	if !ev.Cancelled() {
 		t.Error("Cancelled() = false after Cancel")
 	}
-	// Double-cancel and nil-cancel are no-ops.
+	// Double-cancel and zero-handle cancel are no-ops.
 	e.Cancel(ev)
-	e.Cancel(nil)
+	e.Cancel(Handle{})
 }
 
 func TestCancelFromWithinEvent(t *testing.T) {
 	e := NewEngine()
 	fired := false
-	var ev *Event
+	var ev Handle
 	e.At(1, func() { e.Cancel(ev) })
 	ev = e.At(2, func() { fired = true })
 	e.Run()

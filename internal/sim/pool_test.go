@@ -1,0 +1,119 @@
+package sim
+
+import "testing"
+
+// TestChurnZeroAllocs asserts the event free list works: after warm-up, a
+// schedule/cancel/fire churn loop allocates nothing (the ISSUE-8 companion
+// to flow's TestRecomputeZeroAllocs).
+func TestChurnZeroAllocs(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	fn := func() { fired++ }
+	churn := func() {
+		// Two scheduled, one cancelled, one fired, plus a same-time pair to
+		// exercise heap movement.
+		a := e.After(1, fn)
+		b := e.After(2, fn)
+		e.After(2, fn)
+		e.Cancel(a)
+		e.RunUntil(e.Now() + 3)
+		if !a.Cancelled() || !b.Cancelled() {
+			t.Fatal("handles should read Cancelled after cancel/fire")
+		}
+	}
+	for i := 0; i < 10; i++ { // warm up the free list and heap backing array
+		churn()
+	}
+	avg := testing.AllocsPerRun(100, churn)
+	if avg != 0 {
+		t.Fatalf("steady-state churn allocated %.1f allocs/op, want 0", avg)
+	}
+	if fired == 0 {
+		t.Fatal("no events fired")
+	}
+}
+
+// TestEngineResetReuse: Reset drains the queue into the free list and
+// returns the clock and counters to zero, so a second run on the same
+// engine behaves exactly like a fresh one — without re-growing the event
+// pool (zero allocations once warm).
+func TestEngineResetReuse(t *testing.T) {
+	e := NewEngine()
+	var order []float64
+	pending := e.At(5, func() { t.Error("event from before Reset fired") })
+	e.At(1, func() { order = append(order, e.Now()) })
+	e.RunUntil(1)
+
+	e.Reset()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v after Reset, want 0", e.Now())
+	}
+	if e.Pending() != 0 || e.EventsFired() != 0 || e.MaxPending() != 0 {
+		t.Fatalf("counters not cleared: pending=%d fired=%d maxPend=%d",
+			e.Pending(), e.EventsFired(), e.MaxPending())
+	}
+	if !pending.Cancelled() {
+		t.Fatal("handle pending across Reset should read Cancelled")
+	}
+	e.Cancel(pending) // stale: must not disturb the reused pool
+
+	e.At(2, func() { order = append(order, e.Now()) })
+	e.Run()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("fired at %v, want [1 2]", order)
+	}
+
+	// A reset engine reuses its warm free list: run/reset cycles allocate
+	// nothing in the steady state.
+	cycle := func() {
+		for i := 0; i < 4; i++ {
+			e.After(float64(i+1), func() {})
+		}
+		e.Run()
+		e.Reset()
+	}
+	cycle() // warm up
+	if avg := testing.AllocsPerRun(100, cycle); avg != 0 {
+		t.Fatalf("run/reset cycle allocated %.1f allocs/op, want 0", avg)
+	}
+}
+
+// TestStaleHandleSafeAcrossReuse pins the generation-counter contract: once
+// an event fires or is cancelled, its struct may be reissued, and the old
+// handle must neither cancel nor observe the new occurrence.
+func TestStaleHandleSafeAcrossReuse(t *testing.T) {
+	e := NewEngine()
+	stale := e.At(1, func() {})
+	e.Run() // fires; the struct returns to the free list
+
+	secondFired := false
+	fresh := e.At(2, func() { secondFired = true })
+	if fresh.ev != stale.ev {
+		t.Fatal("free list did not reuse the retired event struct")
+	}
+	if !stale.Cancelled() {
+		t.Error("stale handle should read Cancelled after its occurrence fired")
+	}
+	if fresh.Cancelled() {
+		t.Error("fresh handle should be pending")
+	}
+	e.Cancel(stale) // must NOT cancel the reissued occurrence
+	e.Run()
+	if !secondFired {
+		t.Fatal("stale Cancel removed an unrelated reissued event")
+	}
+
+	// And a cancelled occurrence invalidates its handle the same way.
+	h := e.At(e.Now()+1, func() {})
+	e.Cancel(h)
+	thirdFired := false
+	h2 := e.At(e.Now()+1, func() { thirdFired = true })
+	e.Cancel(h) // stale again: struct was reissued to h2
+	e.Run()
+	if !thirdFired {
+		t.Fatal("stale Cancel after cancel removed a reissued event")
+	}
+	if h2.Cancelled() != true {
+		t.Error("h2 should read Cancelled after firing")
+	}
+}

@@ -16,14 +16,16 @@ import (
 // ("access to files in the BB are limited to the compute node that created
 // them", paper Section III-D) is enforced against.
 type Registry struct {
-	locations map[*workflow.File]map[Service]*replica
+	locations map[*workflow.File]map[Service]replica
 	// resident tallies the bytes of all replicas per service, maintained
 	// incrementally so the capacity-invariant audit (System.AuditCapacity)
 	// is cheap. Updated in event order, hence deterministic.
 	resident map[Service]units.Bytes
 }
 
-// replica is one copy of a file on one service.
+// replica is one copy of a file on one service. Stored by value: a replica
+// is registered on every write completion, so a pointer here would be one
+// heap allocation per I/O operation.
 type replica struct {
 	// creator is the compute node that wrote the replica; nil means the
 	// replica pre-exists (initial placement) and is visible to everyone.
@@ -33,7 +35,7 @@ type replica struct {
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		locations: map[*workflow.File]map[Service]*replica{},
+		locations: map[*workflow.File]map[Service]replica{},
 		resident:  map[Service]units.Bytes{},
 	}
 }
@@ -48,19 +50,19 @@ func (r *Registry) Add(f *workflow.File, svc Service) {
 func (r *Registry) AddFrom(f *workflow.File, svc Service, node *platform.Node) {
 	m := r.locations[f]
 	if m == nil {
-		m = map[Service]*replica{}
+		m = map[Service]replica{}
 		r.locations[f] = m
 	}
-	if m[svc] == nil {
+	if _, held := m[svc]; !held {
 		r.resident[svc] += f.Size()
 	}
-	m[svc] = &replica{creator: node}
+	m[svc] = replica{creator: node}
 }
 
 // Remove forgets the replica of f on svc. Removing an absent replica is a
 // no-op.
 func (r *Registry) Remove(f *workflow.File, svc Service) {
-	if r.locations[f][svc] != nil {
+	if _, held := r.locations[f][svc]; held {
 		r.resident[svc] -= f.Size()
 	}
 	delete(r.locations[f], svc)
@@ -75,7 +77,7 @@ func (r *Registry) FilesOn(svc Service) []*workflow.File {
 	var files []*workflow.File
 	//bbvet:ordered -- collected files are sorted by ID immediately below
 	for f, m := range r.locations {
-		if m[svc] != nil {
+		if _, held := m[svc]; held {
 			files = append(files, f)
 		}
 	}
@@ -85,16 +87,14 @@ func (r *Registry) FilesOn(svc Service) []*workflow.File {
 
 // Has reports whether svc holds a replica of f.
 func (r *Registry) Has(f *workflow.File, svc Service) bool {
-	return r.locations[f][svc] != nil
+	_, held := r.locations[f][svc]
+	return held
 }
 
 // Creator returns the node that created the replica of f on svc, or nil
 // when the replica pre-exists or is absent.
 func (r *Registry) Creator(f *workflow.File, svc Service) *platform.Node {
-	if rep := r.locations[f][svc]; rep != nil {
-		return rep.creator
-	}
-	return nil
+	return r.locations[f][svc].creator
 }
 
 // Locations returns the services holding f, sorted by name for determinism.
@@ -128,9 +128,14 @@ func (r *Registry) Best(f *workflow.File, node *platform.Node) (Service, error) 
 func (r *Registry) BestVisible(f *workflow.File, node *platform.Node, enforcePrivate bool) (Service, error) {
 	var best Service
 	bestRank := -1
-	for _, svc := range r.Locations(f) {
+	// This runs once per read operation, so it must not allocate: instead
+	// of ranging over name-sorted Locations, reduce over the map under the
+	// total order (rank desc, name asc) — the maximum of a total order is
+	// the same service regardless of iteration order.
+	//bbvet:ordered -- order-insensitive max-reduction: (rank, name) is a total order over candidates
+	for svc, rep := range r.locations[f] {
 		if enforcePrivate && svc.Kind() == KindSharedBB && svc.Mode() == platform.BBPrivate {
-			if c := r.Creator(f, svc); c != nil && c != node {
+			if c := rep.creator; c != nil && c != node {
 				continue
 			}
 		}
@@ -145,7 +150,7 @@ func (r *Registry) BestVisible(f *workflow.File, node *platform.Node, enforcePri
 		case svc.Kind() == KindPFS:
 			rank = 1
 		}
-		if rank > bestRank {
+		if rank > bestRank || (rank == bestRank && svc.Name() < best.Name()) {
 			bestRank = rank
 			best = svc
 		}

@@ -124,6 +124,11 @@ type remoteService struct {
 	readLat   float64
 	writeLat  float64
 	streamCap units.Bandwidth
+	// pathCache memoizes the per-node resource path: the path never changes
+	// after construction, and building it fresh was one of the hottest
+	// allocation sites of a run (every read/write hits it). Callers treat
+	// returned paths as immutable.
+	pathCache map[*platform.Node][]*flow.Resource
 }
 
 // NewRemote builds a remote shared service (PFS or shared BB) from its
@@ -155,6 +160,9 @@ func (s *remoteService) StreamCap(*platform.Node) units.Bandwidth { return s.str
 func (s *remoteService) Local(*platform.Node) bool                { return false }
 
 func (s *remoteService) path(node *platform.Node) []*flow.Resource {
+	if p, ok := s.pathCache[node]; ok {
+		return p
+	}
 	res := make([]*flow.Resource, 0, 3)
 	if node != nil {
 		res = append(res, node.Link())
@@ -162,7 +170,12 @@ func (s *remoteService) path(node *platform.Node) []*flow.Resource {
 	if s.netRes != nil {
 		res = append(res, s.netRes)
 	}
-	return append(res, s.diskRes)
+	res = append(res, s.diskRes)
+	if s.pathCache == nil {
+		s.pathCache = map[*platform.Node][]*flow.Resource{}
+	}
+	s.pathCache[node] = res
+	return res
 }
 
 func (s *remoteService) ReadPath(node *platform.Node) []*flow.Resource  { return s.path(node) }
@@ -179,6 +192,8 @@ type localService struct {
 	writeLat  float64
 	streamCap units.Bandwidth
 	remoteCap units.Bandwidth // caps remote access (NVMe-over-fabric path)
+	// pathCache as in remoteService: immutable per-node paths, built once.
+	pathCache map[*platform.Node][]*flow.Resource
 }
 
 // NewNodeLocal builds the node-local burst buffer of one compute node.
@@ -216,10 +231,20 @@ func (s *localService) StreamCap(node *platform.Node) units.Bandwidth {
 }
 
 func (s *localService) path(node *platform.Node) []*flow.Resource {
-	if node == nil || node == s.owner {
-		return []*flow.Resource{s.diskRes}
+	if p, ok := s.pathCache[node]; ok {
+		return p
 	}
-	return []*flow.Resource{node.Link(), s.owner.Link(), s.diskRes}
+	var res []*flow.Resource
+	if node == nil || node == s.owner {
+		res = []*flow.Resource{s.diskRes}
+	} else {
+		res = []*flow.Resource{node.Link(), s.owner.Link(), s.diskRes}
+	}
+	if s.pathCache == nil {
+		s.pathCache = map[*platform.Node][]*flow.Resource{}
+	}
+	s.pathCache[node] = res
+	return res
 }
 
 func (s *localService) ReadPath(node *platform.Node) []*flow.Resource  { return s.path(node) }

@@ -143,6 +143,26 @@ func (r *TaskRecord) ComputeTime() float64 { return r.ComputeDone - r.ReadDoneAt
 // WaitTime returns the time spent queued (ready but not started).
 func (r *TaskRecord) WaitTime() float64 { return r.StartedAt - r.ReadyAt }
 
+// Mode selects how a trace materializes the events it records. Makespan and
+// per-kind event counts are maintained incrementally in every mode, so
+// CountKind and the fault tallies in core.Result never scan an event slice.
+type Mode int
+
+const (
+	// Retained keeps every event in memory (the historical behavior).
+	// Events, MarshalJSON, Save, Gantt, and the invariants/replay harness
+	// all require a retained trace.
+	Retained Mode = iota
+	// Streaming forwards each event to a Sink as it is recorded and retains
+	// nothing. Task records are folded into per-name summaries as tasks
+	// finish, so memory is O(active tasks), not O(total events).
+	Streaming
+	// Counting discards events entirely, keeping only the per-kind counts,
+	// the makespan, and the folded summaries — the mode for million-task
+	// scale runs.
+	Counting
+)
+
 // Trace is the full output of one simulated execution.
 type Trace struct {
 	WorkflowName string
@@ -151,22 +171,62 @@ type Trace struct {
 	records      []*TaskRecord
 	byTask       map[string]*TaskRecord
 	makespan     float64
+	mode         Mode
+	sink         Sink
+	counts       map[EventKind]int
+	// folded accumulates summary sums for task records released by the
+	// non-retained modes; foldedOrder remembers first-fold order only so
+	// Summarize's output stays deterministic without sorting a map.
+	folded      map[string]*Summary
+	foldedOrder []string
 }
 
-// New returns an empty trace.
+// New returns an empty retained-mode trace.
 func New(workflowName, platformName string) *Trace {
+	return newTrace(workflowName, platformName, Retained, nil)
+}
+
+// NewStreaming returns a trace that forwards events to sink instead of
+// retaining them. The caller owns the sink and must Close it after the run.
+func NewStreaming(workflowName, platformName string, sink Sink) *Trace {
+	if sink == nil {
+		panic("trace: NewStreaming with nil sink")
+	}
+	return newTrace(workflowName, platformName, Streaming, sink)
+}
+
+// NewCounting returns a trace that keeps only per-kind counts, the
+// makespan, and folded task summaries.
+func NewCounting(workflowName, platformName string) *Trace {
+	return newTrace(workflowName, platformName, Counting, nil)
+}
+
+func newTrace(workflowName, platformName string, mode Mode, sink Sink) *Trace {
 	return &Trace{
 		WorkflowName: workflowName,
 		PlatformName: platformName,
 		byTask:       map[string]*TaskRecord{},
+		mode:         mode,
+		sink:         sink,
+		counts:       map[EventKind]int{},
 	}
 }
 
-// Record appends an event and advances the makespan.
+// Mode returns how the trace materializes events.
+func (t *Trace) Mode() Mode { return t.mode }
+
+// Record logs an event: the per-kind count and makespan always advance; the
+// event itself is retained, streamed, or dropped according to the mode.
 func (t *Trace) Record(time float64, kind EventKind, taskID, detail string) {
-	t.events = append(t.events, Event{Time: time, Kind: kind, TaskID: taskID, Detail: detail})
+	t.counts[kind]++
 	if time > t.makespan {
 		t.makespan = time
+	}
+	switch t.mode {
+	case Retained:
+		t.events = append(t.events, Event{Time: time, Kind: kind, TaskID: taskID, Detail: detail})
+	case Streaming:
+		t.sink.Emit(Event{Time: time, Kind: kind, TaskID: taskID, Detail: detail})
 	}
 }
 
@@ -177,7 +237,9 @@ func (t *Trace) Task(taskID string) *TaskRecord {
 	}
 	r := &TaskRecord{TaskID: taskID}
 	t.byTask[taskID] = r
-	t.records = append(t.records, r)
+	if t.mode == Retained {
+		t.records = append(t.records, r)
+	}
 	return r
 }
 
@@ -186,27 +248,63 @@ func (t *Trace) Lookup(taskID string) *TaskRecord {
 	return t.byTask[taskID]
 }
 
+// Release folds taskID's completed record into the per-name summary
+// accumulators and frees it. Retained traces keep every record, so there it
+// is a no-op; in the scale modes the execution engine calls it as each task
+// finishes, which is what keeps live state O(active tasks). A task re-run
+// later (lineage re-execution under faults) simply gets a fresh record and
+// folds again, so scale-mode summaries count such tasks once per execution.
+func (t *Trace) Release(taskID string) {
+	if t.mode == Retained {
+		return
+	}
+	r := t.byTask[taskID]
+	if r == nil {
+		return
+	}
+	delete(t.byTask, taskID)
+	t.fold(r)
+}
+
+func (t *Trace) fold(r *TaskRecord) {
+	s := t.folded[r.Name]
+	if s == nil {
+		s = &Summary{Name: r.Name}
+		if t.folded == nil {
+			t.folded = map[string]*Summary{}
+		}
+		t.folded[r.Name] = s
+		t.foldedOrder = append(t.foldedOrder, r.Name)
+	}
+	// Accumulate sums; Summarize divides by Count on the way out.
+	s.Count++
+	s.MeanExec += r.ExecTime()
+	if r.ExecTime() > s.MaxExec {
+		s.MaxExec = r.ExecTime()
+	}
+	s.MeanIO += r.IOTime()
+	s.MeanCompute += r.ComputeTime()
+	s.MeanWait += r.WaitTime()
+	s.BytesRead += r.BytesRead
+	s.BytesWritten += r.BytesWritten
+}
+
 // Events returns all events in recording order (which is time order, since
-// the simulation clock is monotone).
+// the simulation clock is monotone). Non-retained traces return nil.
 func (t *Trace) Events() []Event { return t.events }
 
-// Records returns all task records in first-touch order.
+// Records returns all task records in first-touch order. Non-retained
+// traces return only the records not yet folded by Release.
 func (t *Trace) Records() []*TaskRecord { return t.records }
 
 // Makespan returns the time of the last recorded event.
 func (t *Trace) Makespan() float64 { return t.makespan }
 
 // CountKind returns the number of recorded events of the given kind, the
-// basis of the fault/recovery counters in core.Result.
-func (t *Trace) CountKind(kind EventKind) int {
-	n := 0
-	for _, ev := range t.events {
-		if ev.Kind == kind {
-			n++
-		}
-	}
-	return n
-}
+// basis of the fault/recovery counters in core.Result. The counts are
+// maintained incrementally by Record, so this is O(1) in every mode
+// (TestCountKindMatchesScan pins it against a full scan).
+func (t *Trace) CountKind(kind EventKind) int { return t.counts[kind] }
 
 // Summary aggregates task records by task name.
 type Summary struct {
@@ -222,8 +320,14 @@ type Summary struct {
 }
 
 // Summarize groups records by task name and averages their phases. Results
-// are sorted by name.
+// are sorted by name. In the scale modes, records already folded by Release
+// contribute through their accumulators; still-live (unfinished) records
+// are folded on a copy, in task-ID order, so repeated calls are
+// deterministic and non-mutating.
 func (t *Trace) Summarize() []Summary {
+	if t.mode != Retained {
+		return t.summarizeFolded()
+	}
 	byName := map[string]*Summary{}
 	for _, r := range t.records {
 		s := byName[r.Name]
@@ -255,9 +359,49 @@ func (t *Trace) Summarize() []Summary {
 	return out
 }
 
+func (t *Trace) summarizeFolded() []Summary {
+	// Copy the accumulators, then fold any live records in task-ID order.
+	acc := make(map[string]*Summary, len(t.folded))
+	order := append([]string(nil), t.foldedOrder...)
+	for _, name := range order {
+		cp := *t.folded[name]
+		acc[name] = &cp
+	}
+	live := make([]*TaskRecord, 0, len(t.byTask))
+	for _, r := range t.byTask {
+		live = append(live, r)
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].TaskID < live[j].TaskID })
+	tmp := Trace{folded: acc, foldedOrder: order}
+	for _, r := range live {
+		tmp.fold(r)
+	}
+	out := make([]Summary, 0, len(tmp.foldedOrder))
+	for _, name := range tmp.foldedOrder {
+		s := *tmp.folded[name]
+		n := float64(s.Count)
+		s.MeanExec /= n
+		s.MeanIO /= n
+		s.MeanCompute /= n
+		s.MeanWait /= n
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // MeanExecByName returns the mean exec time of tasks with the given name,
-// or an error if none exist.
+// or an error if none exist. In the scale modes it answers from the folded
+// accumulators.
 func (t *Trace) MeanExecByName(name string) (float64, error) {
+	if t.mode != Retained {
+		for _, s := range t.Summarize() {
+			if s.Name == name && s.Count > 0 {
+				return s.MeanExec, nil
+			}
+		}
+		return 0, fmt.Errorf("trace: no tasks named %q", name)
+	}
 	sum, count := 0.0, 0
 	for _, r := range t.records {
 		if r.Name == name {
@@ -315,8 +459,12 @@ type jsonTrace struct {
 	Events   []Event       `json:"events"`
 }
 
-// MarshalJSON implements json.Marshaler.
+// MarshalJSON implements json.Marshaler. Only retained traces carry the
+// full event log and task records the schema promises.
 func (t *Trace) MarshalJSON() ([]byte, error) {
+	if t.mode != Retained {
+		return nil, fmt.Errorf("trace: cannot marshal a non-retained trace (mode %d)", t.mode)
+	}
 	return json.Marshal(jsonTrace{
 		Workflow: t.WorkflowName,
 		Platform: t.PlatformName,

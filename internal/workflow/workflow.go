@@ -11,6 +11,7 @@
 package workflow
 
 import (
+	"container/heap"
 	"fmt"
 	"sort"
 
@@ -37,12 +38,18 @@ const (
 type File struct {
 	id        string
 	size      units.Bytes
+	index     int
 	producer  *Task
 	consumers []*Task
 }
 
 // ID returns the file's unique identifier.
 func (f *File) ID() string { return f.id }
+
+// Index returns the file's insertion index within its workflow — a dense
+// 0..len(Files())-1 range, so per-file run state can live in slices instead
+// of maps.
+func (f *File) Index() int { return f.index }
 
 // Size returns the file's size.
 func (f *File) Size() units.Bytes { return f.size }
@@ -70,6 +77,11 @@ type Task struct {
 	index    int // insertion order, for deterministic tie-breaking
 	inputs   []*File
 	outputs  []*File
+	// parents and children are maintained incrementally by AddTask (not
+	// lazily — workflows are shared across parallel campaign runs, so the
+	// accessors must be read-only). Both stay sorted by insertion index.
+	parents  []*Task
+	children []*Task
 }
 
 // ID returns the task's unique identifier.
@@ -125,36 +137,14 @@ func (t *Task) OutputBytes() units.Bytes {
 }
 
 // Parents returns the distinct producers of the task's inputs, ordered by
-// task insertion index.
-func (t *Task) Parents() []*Task {
-	seen := map[*Task]bool{}
-	var parents []*Task
-	for _, f := range t.inputs {
-		if f.producer != nil && !seen[f.producer] {
-			seen[f.producer] = true
-			parents = append(parents, f.producer)
-		}
-	}
-	sort.Slice(parents, func(i, j int) bool { return parents[i].index < parents[j].index })
-	return parents
-}
+// task insertion index. The slice is the task's own edge list — callers
+// must not mutate it.
+func (t *Task) Parents() []*Task { return t.parents }
 
 // Children returns the distinct consumers of the task's outputs, ordered by
-// task insertion index.
-func (t *Task) Children() []*Task {
-	seen := map[*Task]bool{}
-	var children []*Task
-	for _, f := range t.outputs {
-		for _, c := range f.consumers {
-			if !seen[c] {
-				seen[c] = true
-				children = append(children, c)
-			}
-		}
-	}
-	sort.Slice(children, func(i, j int) bool { return children[i].index < children[j].index })
-	return children
-}
+// task insertion index. The slice is the task's own edge list — callers
+// must not mutate it.
+func (t *Task) Children() []*Task { return t.children }
 
 // TaskSpec describes a task to add to a workflow.
 type TaskSpec struct {
@@ -214,7 +204,7 @@ func (w *Workflow) AddFile(id string, size units.Bytes) (*File, error) {
 	if _, dup := w.fileByID[id]; dup {
 		return nil, fmt.Errorf("workflow: duplicate file ID %q", id)
 	}
-	f := &File{id: id, size: size}
+	f := &File{id: id, size: size, index: len(w.files)}
 	w.fileByID[id] = f
 	w.files = append(w.files, f)
 	return f, nil
@@ -308,13 +298,34 @@ func (w *Workflow) AddTask(spec TaskSpec) (*Task, error) {
 		seenOut[id] = true
 		t.outputs = append(t.outputs, f)
 	}
-	// All checks passed; commit.
+	// All checks passed; commit, maintaining the dependency edge lists as
+	// we go. t carries the largest index so far, so appending it to another
+	// task's sorted list keeps that list sorted — and because only t is
+	// appended during this call, "the reverse edge's last element is
+	// already t" detects a duplicate pair in O(1), keeping AddTask linear
+	// even for million-wide joins.
 	for _, f := range t.inputs {
 		f.consumers = append(f.consumers, t)
+		if p := f.producer; p != nil {
+			if n := len(p.children); n == 0 || p.children[n-1] != t {
+				p.children = append(p.children, t)
+				t.parents = append(t.parents, p)
+			}
+		}
 	}
+	sort.Slice(t.parents, func(i, j int) bool { return t.parents[i].index < t.parents[j].index })
 	for _, f := range t.outputs {
 		f.producer = t
+		// Consumers registered before their producer: t becomes their
+		// (largest-index) parent, and they become t's children.
+		for _, c := range f.consumers {
+			if n := len(c.parents); n == 0 || c.parents[n-1] != t {
+				c.parents = append(c.parents, t)
+				t.children = append(t.children, c)
+			}
+		}
 	}
+	sort.Slice(t.children, func(i, j int) bool { return t.children[i].index < t.children[j].index })
 	w.taskByID[t.id] = t
 	w.tasks = append(w.tasks, t)
 	return t, nil
@@ -329,38 +340,46 @@ func (w *Workflow) MustAddTask(spec TaskSpec) *Task {
 	return t
 }
 
+// taskHeap is a min-heap of tasks by insertion index: the ready list of
+// Kahn's algorithm.
+type taskHeap []*Task
+
+func (h taskHeap) Len() int           { return len(h) }
+func (h taskHeap) Less(i, j int) bool { return h[i].index < h[j].index }
+func (h taskHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *taskHeap) Push(x any)        { *h = append(*h, x.(*Task)) }
+func (h *taskHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}
+
 // TopologicalOrder returns the tasks in a deterministic topological order
 // (Kahn's algorithm, ties broken by insertion index), or an error if the
-// graph has a cycle.
+// graph has a cycle. The ready list is a min-heap by index, so the whole
+// walk is O((V+E) log V) at any workflow width — a million-wide fork-join
+// stays tractable where a sorted-insert list would degrade to O(V²).
 func (w *Workflow) TopologicalOrder() ([]*Task, error) {
-	indegree := make(map[*Task]int, len(w.tasks))
+	indegree := make([]int, len(w.tasks))
+	ready := make(taskHeap, 0, len(w.tasks)/2+1)
 	for _, t := range w.tasks {
-		indegree[t] = len(t.Parents())
-	}
-	// Min-heap by insertion index, implemented as a sorted ready list; the
-	// workflow sizes here (≤ a few thousand tasks) make O(n log n) inserts
-	// with binary search plenty fast and keep the order obvious.
-	var ready []*Task
-	insert := func(t *Task) {
-		i := sort.Search(len(ready), func(i int) bool { return ready[i].index > t.index })
-		ready = append(ready, nil)
-		copy(ready[i+1:], ready[i:])
-		ready[i] = t
-	}
-	for _, t := range w.tasks {
-		if indegree[t] == 0 {
-			insert(t)
+		indegree[t.index] = len(t.parents)
+		if len(t.parents) == 0 {
+			ready = append(ready, t)
 		}
 	}
+	heap.Init(&ready)
 	order := make([]*Task, 0, len(w.tasks))
 	for len(ready) > 0 {
-		t := ready[0]
-		ready = ready[1:]
+		t := heap.Pop(&ready).(*Task)
 		order = append(order, t)
-		for _, c := range t.Children() {
-			indegree[c]--
-			if indegree[c] == 0 {
-				insert(c)
+		for _, c := range t.children {
+			indegree[c.index]--
+			if indegree[c.index] == 0 {
+				heap.Push(&ready, c)
 			}
 		}
 	}
@@ -407,23 +426,23 @@ func (w *Workflow) Levels() ([][]*Task, error) {
 	if err != nil {
 		return nil, err
 	}
-	depth := make(map[*Task]int, len(order))
+	depth := make([]int, len(order))
 	max := 0
 	for _, t := range order {
 		d := 0
-		for _, p := range t.Parents() {
-			if depth[p]+1 > d {
-				d = depth[p] + 1
+		for _, p := range t.parents {
+			if depth[p.index]+1 > d {
+				d = depth[p.index] + 1
 			}
 		}
-		depth[t] = d
+		depth[t.index] = d
 		if d > max {
 			max = d
 		}
 	}
 	levels := make([][]*Task, max+1)
 	for _, t := range order {
-		levels[depth[t]] = append(levels[depth[t]], t)
+		levels[depth[t.index]] = append(levels[depth[t.index]], t)
 	}
 	return levels, nil
 }
@@ -435,26 +454,26 @@ func (w *Workflow) CriticalPath(dur func(*Task) float64) ([]*Task, float64, erro
 	if err != nil {
 		return nil, 0, err
 	}
-	finish := make(map[*Task]float64, len(order))
-	prev := make(map[*Task]*Task, len(order))
+	finish := make([]float64, len(order))
+	prev := make([]*Task, len(order))
 	var last *Task
 	best := 0.0
 	for _, t := range order {
 		start := 0.0
-		for _, p := range t.Parents() {
-			if finish[p] > start {
-				start = finish[p]
-				prev[t] = p
+		for _, p := range t.parents {
+			if finish[p.index] > start {
+				start = finish[p.index]
+				prev[t.index] = p
 			}
 		}
-		finish[t] = start + dur(t)
-		if finish[t] > best {
-			best = finish[t]
+		finish[t.index] = start + dur(t)
+		if finish[t.index] > best {
+			best = finish[t.index]
 			last = t
 		}
 	}
 	var path []*Task
-	for t := last; t != nil; t = prev[t] {
+	for t := last; t != nil; t = prev[t.index] {
 		path = append(path, t)
 	}
 	// Reverse into source-to-sink order.

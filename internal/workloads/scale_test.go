@@ -1,0 +1,87 @@
+package workloads
+
+import (
+	"testing"
+
+	"bbwfsim/internal/workflow"
+)
+
+func TestScaleExactTaskCounts(t *testing.T) {
+	for _, topo := range []string{"chain", "forkjoin", "montage"} {
+		for _, n := range []int{1, 2, 3, 5, 7, 100, 1000, 2049} {
+			wf, err := Scale(ScaleSpec{Topology: topo, Tasks: n, Width: 16})
+			if err != nil {
+				t.Fatalf("Scale(%s, %d): %v", topo, n, err)
+			}
+			if got := len(wf.Tasks()); got != n {
+				t.Errorf("Scale(%s, %d): %d tasks", topo, n, got)
+			}
+			if _, err := wf.TopologicalOrder(); err != nil {
+				t.Errorf("Scale(%s, %d): not a DAG: %v", topo, n, err)
+			}
+		}
+	}
+}
+
+func TestScaleDeterministic(t *testing.T) {
+	gen := func() []byte {
+		wf, err := Scale(ScaleSpec{Topology: "montage", Tasks: 500, Width: 8, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := workflow.Marshal(wf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a, b := gen(), gen()
+	if string(a) != string(b) {
+		t.Fatal("same ScaleSpec produced different workflows")
+	}
+}
+
+func TestScaleConnected(t *testing.T) {
+	// Every block consumes the previous block's output, so the DAG must be
+	// one weakly-connected component.
+	for _, topo := range []string{"chain", "forkjoin", "montage"} {
+		wf, err := Scale(ScaleSpec{Topology: topo, Tasks: 1000, Width: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tasks := wf.Tasks()
+		seen := map[*workflow.Task]bool{tasks[0]: true}
+		queue := []*workflow.Task{tasks[0]}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, next := range append(append([]*workflow.Task{}, cur.Parents()...), cur.Children()...) {
+				if !seen[next] {
+					seen[next] = true
+					queue = append(queue, next)
+				}
+			}
+		}
+		if len(seen) != len(tasks) {
+			t.Errorf("%s: %d of %d tasks reachable from task 0", topo, len(seen), len(tasks))
+		}
+	}
+}
+
+func TestParseScaleSpec(t *testing.T) {
+	spec, err := ParseScaleSpec("montage:100000:512")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Topology != "montage" || spec.Tasks != 100000 || spec.Width != 512 {
+		t.Fatalf("parsed %+v", spec)
+	}
+	for _, bad := range []string{"", "chain", "chain:x", "chain:0", "chain:5:0", "a:1:2:3"} {
+		if _, err := ParseScaleSpec(bad); err == nil {
+			t.Errorf("ParseScaleSpec(%q): no error", bad)
+		}
+	}
+	if _, err := Scale(ScaleSpec{Topology: "ring", Tasks: 5}); err == nil {
+		t.Error("unknown topology: no error")
+	}
+}
