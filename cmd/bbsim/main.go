@@ -25,7 +25,9 @@ import (
 	"bbwfsim/internal/ckpt"
 	"bbwfsim/internal/core"
 	"bbwfsim/internal/exec"
+	"bbwfsim/internal/faults"
 	"bbwfsim/internal/platform"
+	"bbwfsim/internal/sched"
 	"bbwfsim/internal/trace"
 	"bbwfsim/internal/units"
 	"bbwfsim/internal/workflow"
@@ -69,6 +71,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		adRepl    = fs.Bool("adapt-replicate", false, "proactively replicate sole-replica inputs of pending tasks after faults")
 		adBudget  = fs.Int("adapt-repl-budget", 0, "cap proactive replication copies per run (0 = unbounded; needs -adapt-replicate)")
 		adDegrade = fs.Bool("adapt-degraded-fallback", false, "route new allocations away from degraded tiers")
+		schedPol  = fs.String("sched", "", "run a multi-tenant batch campaign under this scheduling policy (fcfs, easy, plan, maxbb, maxparallel, directio) instead of a single workflow")
+		schedJobs = fs.Int("sched-jobs", 1000, "synthetic campaign length for -sched")
+		schedSeed = fs.Int64("sched-seed", 1, "campaign generator and fault seed for -sched")
+		schedSWF  = fs.String("sched-swf", "", "load the -sched campaign from this SWF trace file instead of generating one")
+		schedCap  = fs.Float64("sched-bb-cap", 0, "override the reservable BB capacity for -sched, in GiB (0 = platform preset)")
+		schedFM   = fs.Float64("sched-fault-mean", 0, "inject node failures into the -sched campaign with this exponential inter-arrival mean in seconds (0 = none)")
+		schedMTTR = fs.Float64("sched-mttr", 1800, "node repair time in seconds for -sched-fault-mean")
+		schedFB   = fs.Int("sched-fault-budget", 0, "cap injected node failures for -sched-fault-mean (0 = unbounded)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -83,6 +93,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
+	if *schedPol != "" {
+		if *wfPath != "" || *genSpec != "" {
+			return usage("-sched is incompatible with -workflow and -gen")
+		}
+		if *noTrace || *traceOut != "" || *gantt {
+			return usage("-sched supports only the retained trace (-trace <file>)")
+		}
+		cfg, err := loadPlatform(*platName, *nodes)
+		if err != nil {
+			return fail(err)
+		}
+		return runSchedCampaign(schedCampaignOpts{
+			policy: *schedPol, platform: cfg,
+			jobs: *schedJobs, seed: *schedSeed, swf: *schedSWF,
+			bbCapGiB: *schedCap, faultMean: *schedFM, mttr: *schedMTTR, faultBudget: *schedFB,
+			tracePath: *tracePath, metricsPath: *metricsJS, promPath: *promPath,
+		}, stdout, stderr)
+	}
 	if (*wfPath == "") == (*genSpec == "") {
 		return usage("exactly one of -workflow or -gen required")
 	}
@@ -268,6 +296,122 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return fail(err)
 			}
 			fmt.Fprintf(stdout, "metrics written to %s\n", *promPath)
+		}
+	}
+	return 0
+}
+
+// schedCampaignOpts collects the -sched flag family.
+type schedCampaignOpts struct {
+	policy      string
+	platform    platform.Config
+	jobs        int
+	seed        int64
+	swf         string
+	bbCapGiB    float64
+	faultMean   float64
+	mttr        float64
+	faultBudget int
+	tracePath   string
+	metricsPath string
+	promPath    string
+}
+
+// runSchedCampaign executes one multi-tenant batch campaign (-sched) and
+// prints its accounting through the core.Result fold.
+func runSchedCampaign(o schedCampaignOpts, stdout, stderr io.Writer) int {
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "bbsim: %v\n", err)
+		return 1
+	}
+	cluster := sched.ClusterFromPlatform(o.platform)
+	if o.bbCapGiB > 0 {
+		cluster.BBCapacity = units.Bytes(o.bbCapGiB * float64(units.GiB))
+	}
+	var (
+		jobs   []workloads.Job
+		source string
+		err    error
+	)
+	if o.swf != "" {
+		f, oerr := os.Open(o.swf)
+		if oerr != nil {
+			return fail(oerr)
+		}
+		jobs, err = workloads.ParseSWF(f, workloads.SWFOptions{BBPerProc: units.GiB, MaxJobs: o.jobs})
+		f.Close()
+		source = fmt.Sprintf("SWF trace %s", o.swf)
+	} else {
+		maxNodes := 16
+		if cluster.Nodes < maxNodes {
+			maxNodes = cluster.Nodes
+		}
+		jobs, err = workloads.Campaign(workloads.CampaignSpec{
+			Jobs: o.jobs, Seed: o.seed, MaxNodes: maxNodes,
+		})
+		source = fmt.Sprintf("synthetic, seed %d", o.seed)
+	}
+	if err != nil {
+		return fail(err)
+	}
+	cfg := sched.Config{Cluster: cluster, Policy: o.policy, Jobs: jobs}
+	if o.faultMean > 0 {
+		cfg.Faults = &sched.FaultPlan{
+			Seed: o.seed,
+			Node: &faults.NodeProcess{Arrival: faults.Exp(o.faultMean), MTTR: o.mttr, Budget: o.faultBudget},
+		}
+	}
+	sres, err := sched.Run(cfg)
+	if err != nil {
+		return fail(err)
+	}
+	res := sres.Core()
+
+	fmt.Fprintf(stdout, "policy:    %s on %s (%d nodes, BB %v @ %v, PFS %v)\n",
+		res.Sched.Policy, o.platform.Name, cluster.Nodes,
+		cluster.BBCapacity, cluster.BBBandwidth, cluster.PFSBandwidth)
+	fmt.Fprintf(stdout, "campaign:  %d jobs (%s)\n", res.Sched.Submitted, source)
+	fmt.Fprintf(stdout, "outcomes:  %d completed, %d failed, %d rejected (%d node failures)\n",
+		res.Sched.Completed, res.Sched.Failed, res.Sched.Rejected, res.Sched.NodeFailures)
+	fmt.Fprintf(stdout, "mean wait: %.2f s   mean response: %.2f s   mean bounded slowdown: %.2f\n",
+		res.Sched.MeanWait, res.Sched.MeanResponse, res.Sched.MeanSlowdown)
+	fmt.Fprintf(stdout, "makespan:  %.2f s (%d events)\n", res.Makespan, res.Events)
+
+	if o.tracePath != "" {
+		if err := res.Trace.Save(o.tracePath); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "trace written to %s\n", o.tracePath)
+	}
+	if o.metricsPath != "" {
+		data, err := res.Metrics.JSON()
+		if err != nil {
+			return fail(err)
+		}
+		if err := os.WriteFile(o.metricsPath, data, 0o644); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "metrics written to %s\n", o.metricsPath)
+	}
+	if o.promPath != "" {
+		if o.promPath == "-" {
+			fmt.Fprintln(stdout)
+			if err := res.Metrics.WriteProm(stdout); err != nil {
+				return fail(err)
+			}
+		} else {
+			f, err := os.Create(o.promPath)
+			if err != nil {
+				return fail(err)
+			}
+			if err := res.Metrics.WriteProm(f); err != nil {
+				f.Close()
+				return fail(err)
+			}
+			if err := f.Close(); err != nil {
+				return fail(err)
+			}
+			fmt.Fprintf(stdout, "metrics written to %s\n", o.promPath)
 		}
 	}
 	return 0

@@ -24,6 +24,9 @@ func TestFlagValidation(t *testing.T) {
 		{"trace-out without trace", []string{"-gen", "chain:5", "-trace-out", "jsonl"}, "-trace-out needs -trace"},
 		{"trace-out vs gantt", []string{"-gen", "chain:5", "-trace", "t", "-trace-out", "csv", "-gantt"}, "-gantt needs the retained trace"},
 		{"bad trace-out format", []string{"-gen", "chain:5", "-trace", "t", "-trace-out", "xml"}, "unknown -trace-out format"},
+		{"sched vs workflow", []string{"-sched", "fcfs", "-workflow", "a.json"}, "-sched is incompatible"},
+		{"sched vs gen", []string{"-sched", "fcfs", "-gen", "chain:5"}, "-sched is incompatible"},
+		{"sched vs no-trace", []string{"-sched", "fcfs", "-no-trace"}, "-sched supports only the retained trace"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -58,6 +61,64 @@ func TestGenCountingRun(t *testing.T) {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("stdout missing %q:\n%s", want, out.String())
 		}
+	}
+}
+
+// TestSchedCampaignRun: the -sched mode runs a synthetic campaign end to
+// end, reports the outcome ledger, and writes trace and metrics artifacts.
+func TestSchedCampaignRun(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "campaign.json")
+	metricsPath := filepath.Join(dir, "campaign-metrics.json")
+	args := []string{"-sched", "easy", "-platform", "cori-private", "-nodes", "16",
+		"-sched-jobs", "200", "-sched-seed", "7",
+		"-sched-fault-mean", "5000", "-sched-fault-budget", "3",
+		"-trace", tracePath, "-metrics", metricsPath}
+	var out, errOut strings.Builder
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Fatalf("run = %d, want 0 (stderr: %s)", code, errOut.String())
+	}
+	for _, want := range []string{"policy:    easy", "campaign:  200 jobs (synthetic, seed 7)",
+		"outcomes:", "mean wait:", "makespan:", "trace written to", "metrics written to"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stdout missing %q:\n%s", want, out.String())
+		}
+	}
+	for _, p := range []string{tracePath, metricsPath} {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v map[string]any
+		if err := json.Unmarshal(data, &v); err != nil {
+			t.Errorf("%s is not JSON: %v", p, err)
+		}
+	}
+}
+
+// TestSchedCampaignSWF: the -sched-swf path parses an SWF trace into the
+// campaign.
+func TestSchedCampaignSWF(t *testing.T) {
+	dir := t.TempDir()
+	swf := filepath.Join(dir, "t.swf")
+	lines := []string{
+		"; SWF header comment",
+		"1 0 0 120 2 -1 -1 2 300 -1 1 1 1 1 1 1 1 1",
+		"2 60 0 240 1 -1 -1 1 600 -1 1 1 1 1 1 1 1 1",
+	}
+	if err := os.WriteFile(swf, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	args := []string{"-sched", "fcfs", "-platform", "summit", "-nodes", "4", "-sched-swf", swf}
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Fatalf("run = %d, want 0 (stderr: %s)", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "campaign:  2 jobs (SWF trace "+swf+")") {
+		t.Errorf("stdout missing SWF campaign line:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "2 completed, 0 failed, 0 rejected") {
+		t.Errorf("stdout missing outcomes:\n%s", out.String())
 	}
 }
 

@@ -188,7 +188,7 @@ var simPackages = map[string]bool{
 	"storage": true, "testbed": true, "calib": true,
 	"placement": true, "optimize": true, "faults": true,
 	"metrics": true, "invariants": true, "ckpt": true,
-	"adapt": true,
+	"adapt": true, "sched": true,
 }
 
 // kernelPackages is the single-threaded discrete-event core whose
@@ -200,7 +200,7 @@ var simPackages = map[string]bool{
 // Sink.Emit on the hot path).
 var kernelPackages = map[string]bool{
 	"sim": true, "flow": true, "exec": true, "ckpt": true, "adapt": true,
-	"trace": true,
+	"trace": true, "sched": true,
 }
 
 // deterministicOutputPackages additionally covers packages whose output is

@@ -90,6 +90,9 @@ var taintSinks = map[string][]sinkSpec{
 	// The scale generator's output feeds simulations directly; its bytes are
 	// asserted bit-reproducible for a given spec.
 	"workloads": {{"", "Scale"}},
+	// The batch scheduler's campaigns are asserted bit-identical across
+	// worker counts; its whole event-driven core is a sink.
+	"sched": {{"", "Run"}},
 }
 
 // isTaintSink reports whether a node is a simulation entry point.

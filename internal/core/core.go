@@ -176,6 +176,22 @@ func faultStats(tr *trace.Trace) FaultStats {
 	}
 }
 
+// SchedStats folds a multi-tenant campaign's per-job accounting
+// (internal/sched) into the Result shape: terminal-outcome tallies plus
+// the mean wait, response, and bounded-slowdown figures over completed
+// jobs. All zero for single-workflow runs.
+type SchedStats struct {
+	// Policy is the scheduling policy the campaign ran under.
+	Policy string
+	// Submitted = Completed + Failed + Rejected on every finished run.
+	Submitted, Completed, Failed, Rejected int
+	// NodeFailures counts injected whole-node outages.
+	NodeFailures int
+	// MeanWait, MeanResponse, and MeanSlowdown average over completed
+	// jobs (zero if none completed).
+	MeanWait, MeanResponse, MeanSlowdown float64
+}
+
 // Result is the outcome of one simulated execution.
 type Result struct {
 	// Makespan is the time of the last task completion, in seconds.
@@ -203,6 +219,10 @@ type Result struct {
 	// kernel work counters, fault tallies. Deterministically ordered, so
 	// identical runs marshal to identical bytes.
 	Metrics *metrics.Snapshot
+	// Sched carries batch-campaign accounting when the result came from
+	// the multi-tenant scheduler (sched.Result.Core); nil for
+	// single-workflow runs.
+	Sched *SchedStats
 }
 
 // MeanTaskTime returns the mean execution time of a task category, or an

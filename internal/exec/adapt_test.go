@@ -297,3 +297,64 @@ func TestDegradedFallbackRedirectsWrites(t *testing.T) {
 		t.Errorf("makespan = %v, want 2.8 (write redirected to the PFS)", tr.Makespan())
 	}
 }
+
+// TestOverlappingPressureWavesSpillEachReplicaOnce is the multi-tenant
+// regression for the spill loop's mid-spill exclusion: three concurrent
+// writers — jobs sharing one burst buffer — push occupancy over the
+// high-water mark twice, the second wave arriving while the first wave's
+// spill copies are still in flight. The victim scan must skip replicas
+// already mid-spill (without the guard the second wave would re-pick the
+// first candidate, copy it twice, and double-release its space on the
+// second eviction), so every replica spills exactly once and the capacity
+// audit holds on a fine virtual-time grid throughout.
+func TestOverlappingPressureWavesSpillEachReplicaOnce(t *testing.T) {
+	cfg := testConfig(1, 4)
+	cfg.BB.Capacity = 250 * units.MB
+	sys := newSystem(t, cfg)
+	wf := workflow.New("waves")
+	wf.MustAddFile("a", 60*units.MB)
+	wf.MustAddFile("b", 60*units.MB)
+	wf.MustAddFile("c", 60*units.MB)
+	// Staggered completions: a lands first (below high water), b tips the
+	// first wave (which starts slow 100 MB/s spill copies of a and b), and
+	// c lands while those copies are still in flight — the second wave.
+	wf.MustAddTask(workflow.TaskSpec{ID: "t1", Work: 1e9, Outputs: []string{"a"}})
+	wf.MustAddTask(workflow.TaskSpec{ID: "t2", Work: 2e9, Outputs: []string{"b"}})
+	wf.MustAddTask(workflow.TaskSpec{ID: "t3", Work: 2.2e9, Outputs: []string{"c"}})
+	wf.MustAddTask(workflow.TaskSpec{ID: "t4", Work: 20e9, Inputs: []string{"a", "b", "c"}})
+	col := metrics.New("test", "waves")
+	tr, err := exec.Run(sys, wf, exec.Config{
+		Placement:  placement.NewExplicit("bb", []string{"a", "b", "c"}),
+		Adapt:      adapt.Policy{SpillHighWater: 0.3, SpillLowWater: 0.12},
+		Metrics:    col,
+		Background: []exec.Background{&auditor{t: t, every: 0.1, until: 25}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spilled := map[string]int{}
+	for _, ev := range tr.Events() {
+		if ev.Kind == trace.AdaptSpill {
+			spilled[ev.Detail]++
+		}
+	}
+	for _, id := range []string{"a", "b", "c"} {
+		if got := spilled[id+"@bb"]; got != 1 {
+			t.Errorf("%s spilled %d times, want exactly 1", id, got)
+		}
+	}
+	if got := tr.CountKind(trace.AdaptSpill); got != 3 {
+		t.Errorf("AdaptSpill count = %d, want 3", got)
+	}
+	want := float64(180 * units.MB)
+	if got := col.Snapshot().Counter(metrics.AdaptBytesTotal,
+		metrics.Key{Tier: "shared-bb", Op: metrics.OpSpill}); got != want {
+		t.Errorf("adapt spill bytes = %g, want %g", got, want)
+	}
+	if used := sys.SharedBB().Used(); used != 0 {
+		t.Errorf("BB used = %v after all spills drained, want 0", used)
+	}
+	if err := sys.AuditCapacity(); err != nil {
+		t.Errorf("final capacity audit: %v", err)
+	}
+}

@@ -226,6 +226,7 @@ func All() []Experiment {
 		{"resilience-genomes", "Resilience: fault injection & recovery on 1000Genomes", RunResilienceGenomes},
 		{"resilience-ckpt", "Resilience: checkpoint/restart policy study (interval × tier × failure rate)", RunResilienceCkpt},
 		{"adaptive", "Graceful degradation: static vs. adaptive vs. oracle placement under BB pressure", RunAdaptive},
+		{"sched", "Multi-tenant batch scheduling: policy × BB pressure on a shared cluster", RunSched},
 		{"scalability", "Simulator cost vs. workflow size", RunScalability},
 		{"scale", "Simulator ceiling on generated million-task-class workflows", RunScale},
 	}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"bbwfsim/internal/sched"
+)
+
+func schedPolicyIndex(t *testing.T, name string) int {
+	t.Helper()
+	for i, p := range sched.Policies() {
+		if p == name {
+			return i
+		}
+	}
+	t.Fatalf("policy %s not in catalog", name)
+	return -1
+}
+
+// TestSchedBackfillBeatsFCFS pins the acceptance property: FCFS+EASY
+// backfill strictly improves mean wait over plain FCFS on every pressure
+// row of the grid — including the contended (scarce-BB) one.
+func TestSchedBackfillBeatsFCFS(t *testing.T) {
+	o, err := Options{}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcfs := schedPolicyIndex(t, sched.PolicyFCFS)
+	easy := schedPolicyIndex(t, sched.PolicyEASY)
+	for pi, press := range schedPressures {
+		f, err := runSchedCell(o, schedCell{pressure: pi, policy: fcfs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := runSchedCell(o, schedCell{pressure: pi, policy: easy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.MeanWait() >= f.MeanWait() {
+			t.Errorf("%s: easy mean wait %.2f not strictly below fcfs %.2f",
+				press.label, e.MeanWait(), f.MeanWait())
+		}
+		if f.Submitted != f.Completed+f.Failed+f.Rejected {
+			t.Errorf("%s fcfs: conservation %d != %d+%d+%d",
+				press.label, f.Submitted, f.Completed, f.Failed, f.Rejected)
+		}
+	}
+}
+
+// TestSchedExperimentShape checks the table layout and the campaign-size
+// acceptance floor, on the quick grid.
+func TestSchedExperimentShape(t *testing.T) {
+	tables, err := RunSched(Options{Quick: true, Jobs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 4 {
+		t.Fatalf("got %d tables, want 4", len(tables))
+	}
+	ids := []string{"sched-grid", "sched-wait-cdf", "sched-bsld", "sched-faults"}
+	for i, id := range ids {
+		if tables[i].ID != id {
+			t.Errorf("table %d: ID %s, want %s", i, tables[i].ID, id)
+		}
+	}
+	nPol := len(sched.Policies())
+	if got := len(tables[0].Rows); got != 2*nPol { // quick: ample + scarce
+		t.Errorf("grid has %d rows, want %d", got, 2*nPol)
+	}
+	if got := len(tables[3].Rows); got != nPol {
+		t.Errorf("fault table has %d rows, want %d", got, nPol)
+	}
+	// ≥1000 jobs per policy cell even in quick mode.
+	if spec := schedSpec(Options{Seed: 1}, 0); spec.Jobs < 1000 {
+		t.Errorf("campaign length %d below the 1000-job floor", spec.Jobs)
+	}
+}
+
+// TestSchedExperimentDeterministic pins bit-identical CSV output across
+// worker counts — the experiment-level face of the -j1 == -j8 guarantee.
+func TestSchedExperimentDeterministic(t *testing.T) {
+	render := func(jobs int) string {
+		tables, err := RunSched(Options{Quick: true, Jobs: jobs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		for _, tb := range tables {
+			if err := tb.CSV(&buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return buf.String()
+	}
+	if a, b := render(1), render(8); a != b {
+		t.Fatal("sched experiment CSV differs between -j1 and -j8")
+	}
+}

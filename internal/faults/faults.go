@@ -71,6 +71,17 @@ func (d Dist) validate(what string) error {
 	return nil
 }
 
+// Validate reports whether the distribution is well-formed; what names it
+// in the error. Exported for layers that reuse Dist outside an Injector
+// (the batch scheduler's fault plan).
+func (d Dist) Validate(what string) error { return d.validate(what) }
+
+// Sample draws one inter-arrival time from the distribution using the
+// caller's seeded stream. Exported for layers that reuse Dist outside an
+// Injector (the batch scheduler's fault plan); the Injector's own
+// processes keep their private streams.
+func (d Dist) Sample(rng *rand.Rand) float64 { return d.sample(rng) }
+
 // sample draws one inter-arrival time by inversion. 1-U keeps the argument
 // of the logarithm in (0, 1]: rand.Float64 may return exactly 0.
 func (d Dist) sample(rng *rand.Rand) float64 {

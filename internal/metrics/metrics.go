@@ -102,9 +102,37 @@ const (
 	AdaptReplicationsTotal = "adapt_replications_total"
 	AdaptFallbacksTotal    = "adapt_fallbacks_total"
 
+	// Batch-scheduler families (internal/sched). SchedJobsTotal counts
+	// jobs by terminal outcome (Op label: submitted, completed, failed,
+	// rejected).
+	SchedJobsTotal = "sched_jobs_total"
+	// SchedWaitSecondsTotal sums submit→start waiting time over completed
+	// jobs, committed in completion order.
+	SchedWaitSecondsTotal = "sched_wait_seconds_total"
+	// SchedResponseSecondsTotal sums submit→end response time over
+	// completed jobs.
+	SchedResponseSecondsTotal = "sched_response_seconds_total"
+	// SchedSlowdownTotal sums bounded slowdown (threshold 10 s) over
+	// completed jobs.
+	SchedSlowdownTotal = "sched_bounded_slowdown_total"
+	// SchedWaitSeconds is the fixed-bucket histogram of per-job waits.
+	SchedWaitSeconds = "sched_wait_seconds"
+	// SchedNodesPeak and SchedBBPeakBytes are the cluster's concurrent
+	// node-allocation and BB-reservation high-water marks (gauges).
+	SchedNodesPeak   = "sched_nodes_peak"
+	SchedBBPeakBytes = "sched_bb_peak_bytes"
+
 	// MakespanSeconds is the run's makespan (gauge; campaign merges keep
 	// the maximum).
 	MakespanSeconds = "makespan_seconds"
+)
+
+// Outcome label values (Key.Op) for SchedJobsTotal.
+const (
+	OutcomeSubmitted = "submitted"
+	OutcomeCompleted = "completed"
+	OutcomeFailed    = "failed"
+	OutcomeRejected  = "rejected"
 )
 
 // Phase label values for TaskPhaseSecondsTotal.

@@ -98,6 +98,33 @@ const (
 	AdaptFallback EventKind = "adapt-fallback"
 )
 
+// Batch-scheduler event kinds (internal/sched). The TaskID field carries
+// the job ID; single-workflow runs never contain them.
+const (
+	// JobSubmit records a job arriving in the scheduler's queue; the
+	// detail is "nodes=<n> bb=<bytes> est=<estimated span>", the demands
+	// every downstream consistency check needs.
+	JobSubmit EventKind = "job-submit"
+	// JobReject records a job whose demands exceed the whole cluster,
+	// refused at admission.
+	JobReject EventKind = "job-reject"
+	// JobStart records a job acquiring its nodes and burst-buffer
+	// reservation and beginning stage-in; the detail repeats the held
+	// resources ("nodes=<n> bb=<bytes>").
+	JobStart EventKind = "job-start"
+	// JobRun records stage-in completing and the compute phase starting.
+	JobRun EventKind = "job-run"
+	// JobStageOut records the compute phase completing and stage-out
+	// starting.
+	JobStageOut EventKind = "job-stage-out"
+	// JobEnd records stage-out completing: the job releases its nodes and
+	// burst-buffer reservation.
+	JobEnd EventKind = "job-end"
+	// JobFail records a running job killed by a node failure; it releases
+	// its resources at this instant. The detail names the failed node.
+	JobFail EventKind = "job-fail"
+)
+
 // Event is one time-stamped occurrence.
 type Event struct {
 	Time   float64   `json:"time"`
