@@ -23,6 +23,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -41,6 +42,7 @@ import (
 	"bbwfsim/internal/genomes"
 	"bbwfsim/internal/placement"
 	"bbwfsim/internal/platform"
+	"bbwfsim/internal/service"
 	"bbwfsim/internal/sim"
 	"bbwfsim/internal/swarp"
 	"bbwfsim/internal/trace"
@@ -310,6 +312,42 @@ func runSuite(repeat int) (*Snapshot, error) {
 		return nil, fmt.Errorf("counting mode retains %d bytes, more than 1/5 of retained mode's %d — the O(active tasks) contract is broken",
 			snap.TraceBytesCounting, snap.TraceBytesRetained)
 	}
+
+	// --- simulation service: the bbsimd evaluation path cold vs. cached.
+	// The pair prices the result cache's value proposition: a cold run pays
+	// the full kernel, a hit pays one map lookup plus a byte-slice hand-off.
+	// The hit entry's allocs/op doubles as a contract that serving a cached
+	// result never re-encodes.
+	svcReq := service.SeededRequest(7)
+	svcHash, err := svcReq.CanonicalHash()
+	if err != nil {
+		return nil, fmt.Errorf("service request hash: %w", err)
+	}
+	record("service/cold-run", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := service.Execute(&svcReq); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	svcCache := service.NewCache(16, nil)
+	if _, _, err := svcCache.GetOrFill(context.Background(), svcHash, func() ([]byte, error) {
+		return service.Execute(&svcReq)
+	}); err != nil {
+		return nil, fmt.Errorf("service cache warm-up: %w", err)
+	}
+	record("service/cache-hit", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			data, hit, err := svcCache.GetOrFill(context.Background(), svcHash, func() ([]byte, error) {
+				return nil, fmt.Errorf("cache miss on a warmed key")
+			})
+			if err != nil || !hit || len(data) == 0 {
+				b.Fatalf("warmed key not served from cache (hit=%v err=%v)", hit, err)
+			}
+		}
+	})
 
 	// --- campaign wall-clock: the fig13 Quick sweep at -j 1 vs -j max.
 	fig13, ok := experiments.Find("fig13")

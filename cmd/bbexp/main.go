@@ -35,6 +35,7 @@ func main() {
 		jobs    = flag.Int("j", runtime.NumCPU(), "worker goroutines for independent simulation runs; output is bit-identical at any value (-j 1 = serial)")
 		metPath = flag.String("metrics", "", "write the merged observability snapshot of the instrumented experiments to this JSON file (bit-identical at any -j)")
 		recPol  = flag.String("recovery", "", "restrict the resilience-ckpt sweep to one recovery policy: lineage, ckpt-bb, ckpt-pfs, or ckpt-bb+drain")
+		swf     = flag.String("swf", "", "replay the sched experiment's campaign from this SWF trace file instead of the synthetic generator")
 	)
 	flag.Parse()
 
@@ -76,7 +77,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bbexp: unknown format %q (want text or csv)\n", *format)
 		os.Exit(2)
 	}
-	opts := experiments.Options{Reps: *reps, Seed: *seed, Quick: *quick, Jobs: *jobs, Recovery: *recPol}
+	opts := experiments.Options{Reps: *reps, Seed: *seed, Quick: *quick, Jobs: *jobs, Recovery: *recPol, SWF: *swf}
 	var snaps []*metrics.Snapshot
 	if *metPath != "" {
 		// Each instrumented experiment hands over one merged snapshot; the

@@ -219,6 +219,12 @@ var deterministicOutputPackages = map[string]bool{
 var emitterPackages = map[string]bool{
 	"trace": true, "experiments": true, "wfcommons": true,
 	"metrics": true,
+	// The daemon's handlers, journal, and offline mode write JSON/Prom
+	// artifacts; dropped I/O errors there are served corruption. The
+	// package is deliberately NOT in deterministicOutputPackages — the
+	// serving layer reads the wall clock for deadlines; only the Execute
+	// path below it is determinism-checked, via its taint sink.
+	"service": true,
 }
 
 func isSimPackage(pkgPath string) bool {

@@ -90,6 +90,13 @@ var taintSinks = map[string][]sinkSpec{
 	// The scale generator's output feeds simulations directly; its bytes are
 	// asserted bit-reproducible for a given spec.
 	"workloads": {{"", "Scale"}},
+	// The service evaluator is the cache-identity contract: everything a
+	// daemon response's bytes depend on flows through Execute, so nothing
+	// reachable from it may touch the wall clock, global rand, or host
+	// state. The HTTP layer above it is free to read time (deadlines,
+	// Retry-After); the taint BFS never reaches it because taint flows
+	// from sinks into their callees.
+	"service": {{"", "Execute"}, {"", "ExecuteCampaign"}},
 	// The batch scheduler's campaigns are asserted bit-identical across
 	// worker counts; its whole event-driven core is a sink.
 	"sched": {{"", "Run"}},

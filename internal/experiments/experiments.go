@@ -53,6 +53,13 @@ type Options struct {
 	// (lineage, ckpt-bb, ckpt-pfs, ckpt-bb+drain). Empty runs them all.
 	// Other experiments ignore it.
 	Recovery string
+	// SWF, when non-empty, feeds the sched experiment's campaign from
+	// this Standard Workload Format trace file instead of the synthetic
+	// generator: every (pressure, policy) cell replays the same trace
+	// prefix, so rows differ by scheduling decisions alone. The file is
+	// read once per RunSched call; output stays a bit-identical function
+	// of (file contents, Options). Other experiments ignore it.
+	SWF string
 	// Metrics, when non-nil, receives each instrumented experiment's
 	// aggregated observability snapshot: the per-run metrics.Snapshot of
 	// every lightweight-simulator run the experiment performs, merged in

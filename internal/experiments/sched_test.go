@@ -29,11 +29,11 @@ func TestSchedBackfillBeatsFCFS(t *testing.T) {
 	fcfs := schedPolicyIndex(t, sched.PolicyFCFS)
 	easy := schedPolicyIndex(t, sched.PolicyEASY)
 	for pi, press := range schedPressures {
-		f, err := runSchedCell(o, schedCell{pressure: pi, policy: fcfs})
+		f, err := runSchedCell(o, schedCell{pressure: pi, policy: fcfs}, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		e, err := runSchedCell(o, schedCell{pressure: pi, policy: easy})
+		e, err := runSchedCell(o, schedCell{pressure: pi, policy: easy}, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

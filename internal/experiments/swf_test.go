@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bbwfsim/internal/sched"
+)
+
+// TestSchedSWFReplay drives the sched experiment from the committed SWF
+// fixture instead of the synthetic generator: the trace must actually be
+// scheduled (jobs conserved, work completed on every pressure row), the
+// table must say so, and two full runs — at different worker counts —
+// must render bit-identical CSV. Trace replay inherits the -j1 == -j8
+// guarantee because the trace is parsed once and copied per cell.
+func TestSchedSWFReplay(t *testing.T) {
+	render := func(jobs int) ([]*Table, string) {
+		tables, err := RunSched(Options{Quick: true, Jobs: jobs, SWF: "testdata/sample.swf"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		for _, tb := range tables {
+			if err := tb.CSV(&buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return tables, buf.String()
+	}
+	tables, a := render(1)
+	_, b := render(8)
+	if a != b {
+		t.Fatal("SWF-driven sched CSV differs between -j1 and -j8")
+	}
+
+	grid := tables[0]
+	if !strings.Contains(grid.Title, "SWF trace") {
+		t.Errorf("grid title does not mention the trace: %q", grid.Title)
+	}
+	var noted bool
+	for _, n := range grid.Notes {
+		if strings.Contains(n, "testdata/sample.swf") {
+			noted = true
+		}
+	}
+	if !noted {
+		t.Errorf("grid notes do not name the trace file: %v", grid.Notes)
+	}
+	// Quick grid: ample + scarce pressure rows, every policy schedules the
+	// same trace, so "completed+failed+rejected" is one constant per table.
+	nPol := len(sched.Policies())
+	if got := len(grid.Rows); got != 2*nPol {
+		t.Fatalf("grid has %d rows, want %d", got, 2*nPol)
+	}
+}
+
+// TestLoadSWFJobs pins the trace loader itself: the fixture parses, jobs
+// arrive sorted by submit time, and unrunnable records (cancelled jobs)
+// were dropped by the parser.
+func TestLoadSWFJobs(t *testing.T) {
+	jobs, err := loadSWFJobs("testdata/sample.swf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) == 0 {
+		t.Fatal("fixture parsed to zero jobs")
+	}
+	for i := 1; i < len(jobs); i++ {
+		if jobs[i].Submit < jobs[i-1].Submit {
+			t.Fatalf("jobs unsorted at %d: %v after %v", i, jobs[i].Submit, jobs[i-1].Submit)
+		}
+	}
+	for i, j := range jobs {
+		if j.Nodes <= 0 || j.Runtime <= 0 {
+			t.Fatalf("job %d unrunnable: nodes=%d runtime=%v", i, j.Nodes, j.Runtime)
+		}
+		if j.BBDemand < 0 {
+			t.Fatalf("job %d negative BB demand", i)
+		}
+	}
+
+	if _, err := loadSWFJobs("testdata/no-such-trace.swf"); err == nil {
+		t.Fatal("missing trace file did not error")
+	}
+}

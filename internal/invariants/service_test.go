@@ -1,0 +1,104 @@
+package invariants
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"bbwfsim/internal/service"
+)
+
+// TestServiceCacheIdentityHarness is the cache-identity property behind
+// bbsimd: for 100 seeded requests spanning every Execute path (all three
+// workflow kinds, sched campaigns, checkpointing, adaptation, faults),
+// the canonical hash is stable, two independent evaluations are
+// byte-identical, and a cache hit serves exactly the cold bytes. This is
+// the dynamic half of the determinism argument — the static half is
+// bbvet's taint sink on service.Execute.
+func TestServiceCacheIdentityHarness(t *testing.T) {
+	const cases = 100
+	cache := service.NewCache(0, nil)
+	kinds := map[string]int{}
+	var sched, ckpt, adapt, faults int
+	for seed := int64(1); seed <= cases; seed++ {
+		req := service.SeededRequest(seed)
+		if err := req.Validate(); err != nil {
+			t.Fatalf("SeededRequest(%d) invalid: %v", seed, err)
+		}
+		if req.Sched != nil {
+			sched++
+		} else {
+			kinds[req.Workflow.Kind]++
+		}
+		if req.Ckpt != nil {
+			ckpt++
+		}
+		if req.Adapt != nil {
+			adapt++
+		}
+		if req.Faults != nil {
+			faults++
+		}
+
+		h1, err := req.CanonicalHash()
+		if err != nil {
+			t.Fatalf("seed %d: hash: %v", seed, err)
+		}
+		h2, err := req.CanonicalHash()
+		if err != nil || h1 != h2 {
+			t.Fatalf("seed %d: hash unstable (%v)", seed, err)
+		}
+
+		cold, err := service.Execute(&req)
+		if err != nil {
+			t.Fatalf("seed %d: Execute: %v", seed, err)
+		}
+		again, err := service.Execute(&req)
+		if err != nil {
+			t.Fatalf("seed %d: Execute replay: %v", seed, err)
+		}
+		if !bytes.Equal(cold, again) {
+			t.Errorf("seed %d: two evaluations differ", seed)
+		}
+
+		// Fill the cache, then hit it: the hit must be the cold bytes.
+		filled, hit, err := cache.GetOrFill(context.Background(), h1, func() ([]byte, error) {
+			return service.Execute(&req)
+		})
+		if err != nil {
+			t.Fatalf("seed %d: fill: %v", seed, err)
+		}
+		if hit {
+			t.Errorf("seed %d: first fill reported a hit — seeded requests collided", seed)
+		}
+		if !bytes.Equal(filled, cold) {
+			t.Errorf("seed %d: cache fill differs from direct evaluation", seed)
+		}
+		served, hit, err := cache.GetOrFill(context.Background(), h1, func() ([]byte, error) {
+			t.Fatalf("seed %d: cache miss on replay", seed)
+			return nil, nil
+		})
+		if err != nil || !hit {
+			t.Fatalf("seed %d: replay not a hit (%v)", seed, err)
+		}
+		if !bytes.Equal(served, cold) {
+			t.Errorf("seed %d: cached bytes != recomputed bytes", seed)
+		}
+	}
+
+	// The generator must keep sweeping the whole space; if it narrows,
+	// the property silently weakens.
+	for _, kind := range []string{service.KindGen, service.KindSWarp, service.KindGenomes} {
+		if kinds[kind] == 0 {
+			t.Errorf("no %s cases among %d seeds", kind, cases)
+		}
+	}
+	if sched == 0 {
+		t.Errorf("no sched-campaign cases among %d seeds", cases)
+	}
+	if ckpt == 0 || adapt == 0 || faults == 0 {
+		t.Errorf("coverage gap: ckpt=%d adapt=%d faults=%d", ckpt, adapt, faults)
+	}
+	t.Logf("100 seeds: %d gen / %d swarp / %d genomes / %d sched; %d ckpt, %d adapt, %d faults",
+		kinds[service.KindGen], kinds[service.KindSWarp], kinds[service.KindGenomes], sched, ckpt, adapt, faults)
+}

@@ -125,6 +125,27 @@ const (
 	// MakespanSeconds is the run's makespan (gauge; campaign merges keep
 	// the maximum).
 	MakespanSeconds = "makespan_seconds"
+
+	// Simulation-service families (cmd/bbsimd). Unlike every family above
+	// these measure the serving process, not the simulated world: bbsimd
+	// keeps live atomics and renders them through a throwaway Collector on
+	// each /metrics scrape. ServiceRequestsTotal counts accepted requests
+	// by endpoint (Op label: run, campaign).
+	ServiceRequestsTotal = "service_requests_total"
+	// ServiceCacheHitsTotal counts requests answered from the
+	// content-addressed result cache.
+	ServiceCacheHitsTotal = "service_cache_hits_total"
+	// ServiceShedsTotal counts requests rejected 429 by admission control.
+	ServiceShedsTotal = "service_sheds_total"
+	// ServicePanicsTotal counts worker panics converted to structured 500s.
+	ServicePanicsTotal = "service_panics_total"
+	// ServiceDeadlineKillsTotal counts requests cancelled at their
+	// deadline (504).
+	ServiceDeadlineKillsTotal = "service_deadline_kills_total"
+	// ServiceQueueDepth and ServiceInFlight are point-in-time gauges of
+	// the admission queue and executing-request counts.
+	ServiceQueueDepth = "service_queue_depth"
+	ServiceInFlight   = "service_in_flight"
 )
 
 // Outcome label values (Key.Op) for SchedJobsTotal.

@@ -24,6 +24,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -133,6 +134,127 @@ func Map[T any](jobs, n int, fn func(i int) (T, error)) ([]T, error) {
 		return nil, firstEr
 	}
 	return out, nil
+}
+
+// MapCtx is Map with cooperative cancellation, for callers that outlive a
+// single campaign — a serving daemon with per-request deadlines, a drain
+// sequence. The contract extends Map's:
+//
+//   - while ctx is live, MapCtx(ctx, …) behaves exactly like Map: results
+//     in index order, smallest-index error/panic semantics, bit-identical
+//     output at any jobs value;
+//   - once ctx is done, workers stop drawing new indices. Calls already in
+//     flight run to completion — a simulation point is finite and owns
+//     private state, so abandoning it mid-run is never required for
+//     safety — and fn receives ctx so long points can bail out early on
+//     their own;
+//   - MapCtx returns only after every in-flight call has finished, so the
+//     caller observes no goroutine left running, and no fn call can touch
+//     out after MapCtx returns;
+//   - the returned error is the smallest-index fn error when one exists
+//     (a real failure outranks the cancellation that raced with it);
+//     otherwise ctx.Err() when cancellation prevented any index from
+//     running. A fully completed sweep returns its results even if ctx
+//     fired after the last index was handed out.
+func MapCtx[T any](ctx context.Context, jobs, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("runner: negative point count %d", n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]T, n)
+	workers := Jobs(jobs)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Serial path: identical call sequence to Map's, with a
+		// cancellation check before each point.
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			v, err := fn(ctx, i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	var (
+		next      atomic.Int64
+		stop      atomic.Bool
+		cancelled atomic.Bool // an index was skipped because ctx was done
+		mu        sync.Mutex
+		wg        sync.WaitGroup
+		errIdx    = n
+		panIdx    = n
+		firstEr   error
+		firstPv   any
+	)
+	work := func() {
+		defer wg.Done()
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n || stop.Load() {
+				return
+			}
+			if ctx.Err() != nil {
+				cancelled.Store(true)
+				return
+			}
+			v, err := func() (v T, err error) {
+				defer func() {
+					if r := recover(); r != nil {
+						stop.Store(true)
+						mu.Lock()
+						if i < panIdx {
+							panIdx, firstPv = i, r
+						}
+						mu.Unlock()
+						err = fmt.Errorf("runner: point %d panicked", i)
+					}
+				}()
+				return fn(ctx, i)
+			}()
+			if err != nil {
+				stop.Store(true)
+				mu.Lock()
+				if i < errIdx {
+					errIdx, firstEr = i, err
+				}
+				mu.Unlock()
+				continue
+			}
+			out[i] = v
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go work()
+	}
+	wg.Wait()
+	if panIdx < n {
+		panic(firstPv)
+	}
+	if errIdx < n {
+		return nil, firstEr
+	}
+	if cancelled.Load() {
+		return nil, ctx.Err()
+	}
+	return out, nil
+}
+
+// DoCtx is MapCtx for point functions with no result value.
+func DoCtx(ctx context.Context, jobs, n int, fn func(ctx context.Context, i int) error) error {
+	_, err := MapCtx(ctx, jobs, n, func(ctx context.Context, i int) (struct{}, error) {
+		return struct{}{}, fn(ctx, i)
+	})
+	return err
 }
 
 // MapReduce is Map followed by an index-ordered fold: once every point has

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -221,5 +222,143 @@ func TestMapDeterministicAtAnyJobs(t *testing.T) {
 		if serial[i] != parallel[i] {
 			t.Fatalf("out[%d]: serial %v != parallel %v", i, serial[i], parallel[i])
 		}
+	}
+}
+
+// --- MapCtx: cancellation-aware campaigns ---------------------------------
+
+// TestMapCtxMatchesMapWhileLive pins that an un-cancelled MapCtx is Map:
+// same results, same smallest-index error semantics, at serial and parallel
+// worker counts.
+func TestMapCtxMatchesMapWhileLive(t *testing.T) {
+	point := func(i int) (int, error) { return i * i, nil }
+	for _, jobs := range []int{1, 4} {
+		got, err := MapCtx(context.Background(), jobs, 20, func(_ context.Context, i int) (int, error) {
+			return point(i)
+		})
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		want, _ := Map(1, 20, point)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("jobs=%d out[%d] = %d, want %d", jobs, i, got[i], want[i])
+			}
+		}
+	}
+
+	sentinel := errors.New("boom")
+	for _, jobs := range []int{1, 4} {
+		_, err := MapCtx(context.Background(), jobs, 32, func(_ context.Context, i int) (int, error) {
+			if i >= 7 {
+				return 0, fmt.Errorf("point %d: %w", i, sentinel)
+			}
+			return i, nil
+		})
+		if err == nil || !errors.Is(err, sentinel) || err.Error() != "point 7: boom" {
+			t.Fatalf("jobs=%d: err = %v, want the smallest-index error \"point 7: boom\"", jobs, err)
+		}
+	}
+}
+
+// TestMapCtxPreCancelled pins that a dead context runs nothing and returns
+// ctx.Err().
+func TestMapCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, jobs := range []int{1, 4} {
+		calls := atomic.Int64{}
+		_, err := MapCtx(ctx, jobs, 16, func(_ context.Context, i int) (int, error) {
+			calls.Add(1)
+			return i, nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("jobs=%d: err = %v, want context.Canceled", jobs, err)
+		}
+		if n := calls.Load(); n != 0 {
+			t.Fatalf("jobs=%d: %d point calls ran under a pre-cancelled context", jobs, n)
+		}
+	}
+}
+
+// TestMapCtxErrorOutranksCancellation pins that a real point failure wins
+// over the cancellation racing with it: serial-equivalent smallest-index
+// error semantics survive early cancellation.
+func TestMapCtxErrorOutranksCancellation(t *testing.T) {
+	sentinel := errors.New("boom")
+	ctx, cancel := context.WithCancel(context.Background())
+	_, err := MapCtx(ctx, 4, 64, func(_ context.Context, i int) (int, error) {
+		if i == 2 {
+			cancel() // cancel from inside the failing region…
+			return 0, sentinel
+		}
+		return i, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the point error to outrank the cancellation", err)
+	}
+}
+
+// TestMapCtxCancelStopsDispatchAndLeaksNothing is the drain contract: after
+// cancellation MapCtx finishes in-flight points, stops handing out new
+// indices, returns ctx.Err(), and leaves no worker goroutine behind. The
+// goroutine accounting uses a strict before/after barrier: MapCtx must not
+// return until every worker is done, so the count settles immediately after
+// (a bounded retry loop absorbs unrelated runtime goroutines winding down).
+func TestMapCtxCancelStopsDispatchAndLeaksNothing(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	started := atomic.Int64{}
+	finished := atomic.Int64{}
+	release := make(chan struct{})
+	go func() {
+		// Cancel once the first wave of workers is mid-flight.
+		for started.Load() < 4 {
+			runtime.Gosched()
+		}
+		cancel()
+		close(release)
+	}()
+	_, err := MapCtx(ctx, 4, 1000, func(_ context.Context, i int) (int, error) {
+		started.Add(1)
+		<-release // hold the first wave in flight until cancellation lands
+		finished.Add(1)
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Every point that started must have finished before MapCtx returned —
+	// cancellation abandons pending indices, never in-flight ones.
+	if s, f := started.Load(), finished.Load(); s != f {
+		t.Fatalf("%d points started but only %d finished before MapCtx returned", s, f)
+	}
+	if s := started.Load(); s >= 1000 {
+		t.Fatalf("all %d points ran; cancellation never stopped dispatch", s)
+	}
+	for attempt := 0; ; attempt++ {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if attempt > 1000 {
+			t.Fatalf("goroutines: %d before, %d after cancellation — workers leaked",
+				before, runtime.NumGoroutine())
+		}
+		runtime.Gosched()
+	}
+}
+
+// TestDoCtx pins the no-result variant.
+func TestDoCtx(t *testing.T) {
+	var sum atomic.Int64
+	if err := DoCtx(context.Background(), 4, 10, func(_ context.Context, i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 45 {
+		t.Fatalf("sum = %d, want 45", sum.Load())
 	}
 }

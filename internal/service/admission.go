@@ -1,0 +1,84 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrShed is returned when the admission queue is full: the request is
+// rejected immediately (HTTP 429 + Retry-After) instead of queueing
+// without bound — bounded queues are what keep a saturated daemon's
+// latency finite.
+var ErrShed = errors.New("service: admission queue full")
+
+// Gate is the two-stage admission controller: a bounded wait queue in
+// front of a max-in-flight execution gate. A request first claims a queue
+// token (non-blocking — none free means shed), then waits for an
+// execution slot (blocking, cancellable), then runs. Campaigns claim one
+// queue token for the whole sweep but one execution slot per point, so a
+// big campaign shares the worker pool fairly with single runs instead of
+// monopolizing it.
+type Gate struct {
+	queue chan struct{} // buffered to queue capacity
+	slots chan struct{} // buffered to max-in-flight
+	depth atomic.Int64  // requests holding a queue token but not yet done
+	busy  atomic.Int64  // requests holding an execution slot
+}
+
+// NewGate builds a gate admitting at most inFlight concurrent executions
+// and queueing at most queued further requests beyond those executing.
+// Both must be positive.
+func NewGate(inFlight, queued int) *Gate {
+	if inFlight < 1 {
+		inFlight = 1
+	}
+	if queued < 0 {
+		queued = 0
+	}
+	return &Gate{
+		queue: make(chan struct{}, inFlight+queued),
+		slots: make(chan struct{}, inFlight),
+	}
+}
+
+// Enter claims a queue token or sheds. The caller must Leave() exactly
+// once after a successful Enter.
+func (g *Gate) Enter() error {
+	select {
+	case g.queue <- struct{}{}:
+		g.depth.Add(1)
+		return nil
+	default:
+		return ErrShed
+	}
+}
+
+// Leave releases the queue token claimed by Enter.
+func (g *Gate) Leave() {
+	g.depth.Add(-1)
+	<-g.queue
+}
+
+// Acquire blocks until an execution slot frees or ctx fires. The caller
+// must Release() exactly once after a successful Acquire.
+func (g *Gate) Acquire(ctx context.Context) error {
+	select {
+	case g.slots <- struct{}{}:
+		g.busy.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release frees the slot claimed by Acquire.
+func (g *Gate) Release() {
+	g.busy.Add(-1)
+	<-g.slots
+}
+
+// QueueDepth is the number of admitted requests not yet finished
+// (queued + executing); InFlight is the number currently executing.
+func (g *Gate) QueueDepth() int64 { return g.depth.Load() }
+func (g *Gate) InFlight() int64   { return g.busy.Load() }

@@ -1,0 +1,163 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrFillFailed is wrapped around a filler's failure when waiters observe
+// it; the waiters never retry themselves — the entry is gone by the time
+// they wake, so their caller may.
+var ErrFillFailed = errors.New("service: cache fill failed")
+
+// entry is one in-flight or completed cache slot. ready is closed exactly
+// once, after which data/err are immutable.
+type entry struct {
+	ready chan struct{}
+	data  []byte
+	err   error
+}
+
+// Cache is the content-addressed result cache: canonical request hash →
+// canonical result bytes, with single-flight fills (N concurrent
+// identical requests run one simulation) and a FIFO entry bound.
+//
+// Failure containment is strict: only successful fills stay cached.
+// A filler that errors or panics removes its entry on the way out, so a
+// crashing simulation can never poison the cache — the next identical
+// request recomputes from scratch.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	order   []string // completed-entry insertion order, for FIFO eviction
+	cap     int
+	journal *Journal // optional; appended to on successful cold fills
+}
+
+// NewCache builds a cache bounded to capacity completed entries
+// (capacity <= 0 means unbounded). If journal is non-nil, its restored
+// entries seed the cache and every cold fill is appended to it.
+func NewCache(capacity int, journal *Journal) *Cache {
+	c := &Cache{entries: make(map[string]*entry), cap: capacity, journal: journal}
+	if journal != nil {
+		for hash, data := range journal.Restored() {
+			e := &entry{ready: make(chan struct{}), data: data}
+			close(e.ready)
+			c.entries[hash] = e
+			c.order = append(c.order, hash)
+		}
+		c.evictOverflow()
+	}
+	return c
+}
+
+// Len reports the number of cached (or in-flight) entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// GetOrFill returns the bytes cached under hash, running fill exactly
+// once across all concurrent callers of the same hash. The boolean
+// reports a hit (true = served without calling fill in this request).
+//
+// The filler runs on the calling goroutine and is NOT cancelled when ctx
+// fires — a simulation point is finite and its result stays useful to
+// every later request — but waiters stop waiting and return ctx.Err().
+// If fill panics, the entry is removed and the panic propagates to the
+// caller (the server's worker recovery turns it into a 500).
+func (c *Cache) GetOrFill(ctx context.Context, hash string, fill func() ([]byte, error)) ([]byte, bool, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[hash]; ok {
+		c.mu.Unlock()
+		select {
+		case <-e.ready:
+			if e.err != nil {
+				return nil, false, e.err
+			}
+			return e.data, true, nil
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	e := &entry{ready: make(chan struct{})}
+	c.entries[hash] = e
+	c.mu.Unlock()
+
+	filled := false
+	defer func() {
+		if filled {
+			return
+		}
+		// fill panicked: release waiters with a failure and drop the
+		// entry so the panic cannot poison the cache.
+		e.err = ErrFillFailed
+		c.remove(hash)
+		close(e.ready)
+	}()
+	data, err := fill()
+	filled = true
+	if err != nil {
+		e.err = err
+		c.remove(hash)
+		close(e.ready)
+		return nil, false, err
+	}
+	e.data = data
+	c.commit(hash)
+	close(e.ready)
+	if c.journal != nil {
+		// Journal failures degrade durability, not correctness: the entry
+		// stays served from memory either way.
+		c.journal.Append(hash, data)
+	}
+	return data, false, nil
+}
+
+// Get returns the completed bytes under hash without filling.
+func (c *Cache) Get(hash string) ([]byte, bool) {
+	c.mu.Lock()
+	e, ok := c.entries[hash]
+	c.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	select {
+	case <-e.ready:
+	default:
+		return nil, false // still filling
+	}
+	if e.err != nil {
+		return nil, false
+	}
+	return e.data, true
+}
+
+func (c *Cache) remove(hash string) {
+	c.mu.Lock()
+	delete(c.entries, hash)
+	c.mu.Unlock()
+}
+
+// commit records a successful fill in FIFO order and evicts the oldest
+// completed entries beyond capacity.
+func (c *Cache) commit(hash string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order = append(c.order, hash)
+	c.evictOverflow()
+}
+
+// evictOverflow is called with mu held.
+func (c *Cache) evictOverflow() {
+	if c.cap <= 0 {
+		return
+	}
+	for len(c.order) > c.cap {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
+	}
+}

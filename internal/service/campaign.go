@@ -1,0 +1,73 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+)
+
+// CampaignDoc is the wire form of a campaign response: one point per
+// seed, in seed-list order regardless of completion order — the same
+// index-ordered merge discipline internal/runner gives every campaign in
+// this repository, so the document is byte-identical at any fan-out.
+type CampaignDoc struct {
+	Schema int            `json:"schema"`
+	Points []CampaignItem `json:"points"`
+}
+
+// CampaignItem pairs a seed with its canonical result document.
+type CampaignItem struct {
+	Seed   int64           `json:"seed"`
+	Result json.RawMessage `json:"result"`
+}
+
+// CampaignDocSchema is the current CampaignDoc version.
+const CampaignDocSchema = 1
+
+// EncodeCampaign assembles the canonical campaign document from per-seed
+// result documents (as produced by Execute), indented with a trailing
+// newline like every canonical document in the repository.
+func EncodeCampaign(seeds []int64, results [][]byte) ([]byte, error) {
+	if len(seeds) != len(results) {
+		return nil, fmt.Errorf("service: %d seeds but %d results", len(seeds), len(results))
+	}
+	doc := CampaignDoc{Schema: CampaignDocSchema, Points: make([]CampaignItem, len(seeds))}
+	for i, r := range results {
+		doc.Points[i] = CampaignItem{Seed: seeds[i], Result: json.RawMessage(r)}
+	}
+	b, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// ExecuteCampaign evaluates every point of a campaign serially through an
+// optional cache — the offline twin of the /v1/campaign endpoint, used by
+// `bbsimd -once` and the invariant harness to pin that daemon responses
+// are byte-identical to direct evaluation.
+func ExecuteCampaign(creq *CampaignRequest, cache *Cache) ([]byte, error) {
+	results := make([][]byte, len(creq.Seeds))
+	for i, seed := range creq.Seeds {
+		preq := creq.Base
+		preq.Seed = seed
+		var (
+			data []byte
+			err  error
+		)
+		if cache != nil {
+			hash, herr := preq.CanonicalHash()
+			if herr != nil {
+				return nil, herr
+			}
+			data, _, err = cache.GetOrFill(context.Background(), hash, func() ([]byte, error) { return Execute(&preq) })
+		} else {
+			data, err = Execute(&preq)
+		}
+		if err != nil {
+			return nil, err
+		}
+		results[i] = data
+	}
+	return EncodeCampaign(creq.Seeds, results)
+}

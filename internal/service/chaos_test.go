@@ -1,0 +1,223 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestChaos is the acceptance-criteria workload: a 200-request seeded
+// mixed campaign against a live daemon over real HTTP, with injected
+// worker panics, random client disconnects, and deadline-exceeding
+// requests. The process must survive everything, leak no goroutines,
+// serve every cache hit bit-identical to cold recomputation, and drain
+// cleanly at the end.
+func TestChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test is the long way around")
+	}
+	before := runtime.NumGoroutine()
+
+	srv := NewServer(Config{Workers: 4, Queue: 256, PanicHook: true})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+
+	const total = 200
+	rng := rand.New(rand.NewSource(20260808))
+	type shot struct {
+		body       string
+		kind       string // "run", "panic", "deadline", "disconnect"
+		expectSeed int64  // for "run": the SeededRequest seed, to recompute cold
+	}
+	shots := make([]shot, total)
+	for i := range shots {
+		switch r := rng.Intn(10); {
+		case r < 6: // normal request drawn from a small seed pool → guaranteed duplicates
+			seed := int64(1 + rng.Intn(25))
+			req := SeededRequest(seed)
+			b, err := jsonBody(&req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			shots[i] = shot{body: b, kind: "run", expectSeed: seed}
+		case r < 7: // injected worker panic
+			shots[i] = shot{body: `{"workflow":{"kind":"panic"},"platform":{"preset":"summit"}}`, kind: "panic"}
+		case r < 8: // deadline-exceeding request (nanosecond budget)
+			req := SeededRequest(int64(100 + rng.Intn(10)))
+			req.TimeoutSeconds = 1e-9
+			b, err := jsonBody(&req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			shots[i] = shot{body: b, kind: "deadline"}
+		default: // client disconnects mid-request
+			req := SeededRequest(int64(200 + rng.Intn(10)))
+			b, err := jsonBody(&req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			shots[i] = shot{body: b, kind: "disconnect"}
+		}
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		bodies   = map[int64][][]byte{} // seed → every 200-response body observed
+		failures []string
+	)
+	fail := func(format string, a ...any) {
+		mu.Lock()
+		failures = append(failures, fmt.Sprintf(format, a...))
+		mu.Unlock()
+	}
+	sem := make(chan struct{}, 16)
+	for i, sh := range shots {
+		wg.Add(1)
+		go func(i int, sh shot) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+
+			if sh.kind == "disconnect" {
+				ctx, cancel := context.WithCancel(context.Background())
+				req, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/run", strings.NewReader(sh.body))
+				if err != nil {
+					fail("shot %d: %v", i, err)
+					cancel()
+					return
+				}
+				go func() {
+					time.Sleep(time.Duration(i%3) * time.Millisecond)
+					cancel()
+				}()
+				resp, err := client.Do(req)
+				if err == nil {
+					// The race went the client's way; drain and move on.
+					if _, err := io.Copy(io.Discard, resp.Body); err == nil {
+						_ = 0
+					}
+					resp.Body.Close()
+				}
+				cancel()
+				return
+			}
+
+			resp, err := client.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(sh.body))
+			if err != nil {
+				fail("shot %d (%s): transport error %v", i, sh.kind, err)
+				return
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				fail("shot %d (%s): reading body: %v", i, sh.kind, err)
+				return
+			}
+			switch sh.kind {
+			case "run":
+				switch resp.StatusCode {
+				case http.StatusOK:
+					mu.Lock()
+					bodies[sh.expectSeed] = append(bodies[sh.expectSeed], body)
+					mu.Unlock()
+				case http.StatusTooManyRequests, http.StatusGatewayTimeout:
+					// Shed or killed under load — legitimate robustness
+					// outcomes, not failures.
+				default:
+					fail("shot %d: run got %d: %s", i, resp.StatusCode, body)
+				}
+			case "panic":
+				if resp.StatusCode != http.StatusInternalServerError && resp.StatusCode != http.StatusTooManyRequests {
+					fail("shot %d: panic request got %d", i, resp.StatusCode)
+				}
+			case "deadline":
+				if resp.StatusCode != http.StatusGatewayTimeout && resp.StatusCode != http.StatusTooManyRequests {
+					fail("shot %d: deadline request got %d: %s", i, resp.StatusCode, body)
+				}
+			}
+		}(i, sh)
+	}
+	wg.Wait()
+	for _, f := range failures {
+		t.Error(f)
+	}
+
+	// Every served body for a seed — hit or cold — must equal direct
+	// recomputation, bit for bit.
+	for seed, got := range bodies {
+		req := SeededRequest(seed)
+		want, err := Execute(&req)
+		if err != nil {
+			t.Fatalf("seed %d: recompute: %v", seed, err)
+		}
+		for n, b := range got {
+			if !bytes.Equal(b, want) {
+				t.Errorf("seed %d: response %d differs from cold recomputation", seed, n)
+				break
+			}
+		}
+	}
+
+	st := srv.Stats()
+	if st.Panics == 0 {
+		t.Error("chaos run injected no panics — mix generator broken")
+	}
+	if st.Hits == 0 {
+		t.Error("chaos run observed no cache hits — duplicate traffic broken")
+	}
+	t.Logf("chaos: %d requests, %d hits, %d sheds, %d panics, %d deadline kills",
+		st.RequestsRun, st.Hits, st.Sheds, st.Panics, st.DeadlineKills)
+
+	// The daemon is still healthy, then drains cleanly.
+	resp, err := client.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after chaos: %v / %v", err, resp)
+	}
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.BeginDrain(drainCtx); err != nil {
+		t.Fatalf("drain after chaos: %v", err)
+	}
+	ts.Close()
+
+	// Goroutine-leak barrier: after the test server closes, the count
+	// settles back to where it started (give the runtime a moment to
+	// retire exiting goroutines and idle HTTP keep-alives).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.Gosched()
+		runtime.GC()
+		after := runtime.NumGoroutine()
+		if after <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before chaos, %d after", before, after)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func jsonBody(req *Request) (string, error) {
+	b, err := json.Marshal(req)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}

@@ -1,0 +1,149 @@
+package service
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// Journal is the cache's crash-safe persistence: an append-only file of
+// length-prefixed, checksummed (hash, result-bytes) records. The format
+// per record is
+//
+//	uint32  payload length (big endian)
+//	32 B    raw SHA-256 request hash
+//	uint32  CRC32 (IEEE) of the payload
+//	[]byte  payload (canonical result document)
+//
+// Open replays the file sequentially and stops at the first record that
+// fails its length or checksum — a torn final append after a crash — then
+// truncates the file there, so a restarted daemon serves every durably
+// written result and silently drops the torn tail instead of refusing to
+// start or serving corrupt bytes.
+type Journal struct {
+	mu       sync.Mutex
+	f        *os.File
+	restored map[string][]byte
+}
+
+const journalHashLen = 32
+
+// OpenJournal opens (creating if absent) the journal at path, validates
+// every record, and truncates past the first corruption.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	restored, good, err := replayJournal(f)
+	if err != nil {
+		return nil, closeOnErr(f, err)
+	}
+	if err := f.Truncate(good); err != nil {
+		return nil, closeOnErr(f, fmt.Errorf("service: truncating journal past corruption: %w", err))
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		return nil, closeOnErr(f, err)
+	}
+	return &Journal{f: f, restored: restored}, nil
+}
+
+// closeOnErr closes f on an open-path failure; the close error is joined
+// rather than dropped so emitter error checking stays honest.
+func closeOnErr(f *os.File, err error) error {
+	if cerr := f.Close(); cerr != nil {
+		return fmt.Errorf("%w (and closing journal: %v)", err, cerr)
+	}
+	return err
+}
+
+// replayJournal reads records until EOF or the first invalid one and
+// returns the valid entries plus the byte offset of the last good record
+// boundary. I/O errors (as opposed to torn records) are returned as
+// errors.
+func replayJournal(f *os.File) (map[string][]byte, int64, error) {
+	restored := make(map[string][]byte)
+	var good int64
+	header := make([]byte, 4+journalHashLen+4)
+	for {
+		if _, err := io.ReadFull(f, header); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return restored, good, nil // clean end or torn header
+			}
+			return nil, 0, err
+		}
+		n := binary.BigEndian.Uint32(header[:4])
+		if n > MaxJournalPayload {
+			return restored, good, nil // corrupt length field
+		}
+		hash := header[4 : 4+journalHashLen]
+		sum := binary.BigEndian.Uint32(header[4+journalHashLen:])
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return restored, good, nil // torn payload
+			}
+			return nil, 0, err
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return restored, good, nil // corrupt payload
+		}
+		restored[hex.EncodeToString(hash)] = payload
+		good += int64(len(header)) + int64(n)
+	}
+}
+
+// MaxJournalPayload bounds a single journal record; a length field above
+// it marks the record (and everything after) corrupt.
+const MaxJournalPayload = 64 << 20
+
+// Restored returns the entries replayed at open time (hex hash →
+// payload). The map is owned by the journal; callers read it once at
+// startup.
+func (j *Journal) Restored() map[string][]byte {
+	return j.restored
+}
+
+// Append durably queues one record. Failures are returned but the journal
+// stays usable: a failed append leaves the file positioned wherever the
+// OS left it, and the next Open truncates any torn tail.
+func (j *Journal) Append(hash string, payload []byte) error {
+	raw, err := hex.DecodeString(hash)
+	if err != nil || len(raw) != journalHashLen {
+		return fmt.Errorf("service: journal hash %q is not a hex SHA-256", hash)
+	}
+	if len(payload) > MaxJournalPayload {
+		return fmt.Errorf("service: journal payload %d bytes exceeds cap %d", len(payload), MaxJournalPayload)
+	}
+	rec := make([]byte, 0, 4+journalHashLen+4+len(payload))
+	rec = binary.BigEndian.AppendUint32(rec, uint32(len(payload)))
+	rec = append(rec, raw...)
+	rec = binary.BigEndian.AppendUint32(rec, crc32.ChecksumIEEE(payload))
+	rec = append(rec, payload...)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, err = j.f.Write(rec)
+	return err
+}
+
+// Sync flushes buffered appends to stable storage — the drain sequence
+// calls this before the process exits.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Sync()
+}
+
+// Close syncs and closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.f.Sync(); err != nil {
+		return closeOnErr(j.f, err)
+	}
+	return j.f.Close()
+}

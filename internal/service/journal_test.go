@@ -1,0 +1,183 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testHash(s string) string {
+	return fmt.Sprintf("%x", sha256.Sum256([]byte(s)))
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := j.Append(testHash(fmt.Sprint(i)), []byte(fmt.Sprintf("result %d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := j2.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	restored := j2.Restored()
+	if len(restored) != 5 {
+		t.Fatalf("restored %d entries, want 5", len(restored))
+	}
+	if got := restored[testHash("3")]; !bytes.Equal(got, []byte("result 3")) {
+		t.Errorf("entry 3 = %q", got)
+	}
+}
+
+func TestJournalTruncatesPastCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := j.Append(testHash(fmt.Sprint(i)), []byte(fmt.Sprintf("result %d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a payload byte inside the third record: records 0 and 1 stay
+	// valid, record 2 fails its CRC, record 3 (though intact on disk) is
+	// unreachable past the corruption and must be dropped too.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recLen := 4 + journalHashLen + 4 + len("result 0")
+	corruptAt := 2*recLen + 4 + journalHashLen + 4 // first payload byte of record 2
+	data[corruptAt] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := j2.Restored()
+	if len(restored) != 2 {
+		t.Fatalf("restored %d entries past corruption, want 2", len(restored))
+	}
+	// The file was truncated at the corruption boundary, and the journal
+	// accepts appends from there.
+	if fi, err := os.Stat(path); err != nil || fi.Size() != int64(2*recLen) {
+		t.Fatalf("file size %d after truncation, want %d (err %v)", fi.Size(), 2*recLen, err)
+	}
+	if err := j2.Append(testHash("new"), []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j3, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := j3.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	if len(j3.Restored()) != 3 {
+		t.Fatalf("restored %d entries after post-corruption append, want 3", len(j3.Restored()))
+	}
+}
+
+func TestJournalTornTailDropped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(testHash("a"), []byte("whole")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(testHash("b"), []byte("torn")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: cut the final record short.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := j2.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	if len(j2.Restored()) != 1 {
+		t.Fatalf("restored %d entries with a torn tail, want 1", len(j2.Restored()))
+	}
+}
+
+func TestCacheRestoresFromJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache(0, j)
+	want := []byte("expensive result")
+	if _, _, err := c.GetOrFill(context.Background(), testHash("req"), func() ([]byte, error) {
+		return want, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := j2.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	c2 := NewCache(0, j2)
+	data, hit, err := c2.GetOrFill(context.Background(), testHash("req"), func() ([]byte, error) {
+		t.Fatal("restored entry recomputed")
+		return nil, nil
+	})
+	if err != nil || !hit || !bytes.Equal(data, want) {
+		t.Fatalf("restored entry: data=%q hit=%v err=%v", data, hit, err)
+	}
+}

@@ -1,0 +1,250 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func postJSON(t *testing.T, srv http.Handler, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("POST", path, strings.NewReader(body))
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	return w
+}
+
+const validRun = `{"workflow":{"kind":"swarp","pipelines":1},"platform":{"preset":"cori-private"},"seed":1}`
+
+func TestServerRunAndCacheHit(t *testing.T) {
+	s := NewServer(Config{Workers: 2})
+	first := postJSON(t, s, "/v1/run", validRun)
+	if first.Code != http.StatusOK {
+		t.Fatalf("first run: %d %s", first.Code, first.Body)
+	}
+	if got := first.Header().Get("X-Cache"); got != "miss" {
+		t.Errorf("first X-Cache = %q, want miss", got)
+	}
+	second := postJSON(t, s, "/v1/run", validRun)
+	if second.Code != http.StatusOK {
+		t.Fatalf("second run: %d", second.Code)
+	}
+	if got := second.Header().Get("X-Cache"); got != "hit" {
+		t.Errorf("second X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Error("cache hit bytes differ from cold run")
+	}
+	// The served bytes are exactly what direct evaluation produces.
+	req, err := ParseRequest([]byte(validRun))
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Execute(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Body.Bytes(), direct) {
+		t.Error("served bytes differ from direct Execute")
+	}
+	if st := s.Stats(); st.Hits != 1 || st.RequestsRun != 2 {
+		t.Errorf("stats = %+v, want 1 hit of 2 requests", st)
+	}
+}
+
+func TestServerMalformedRequests(t *testing.T) {
+	s := NewServer(Config{Workers: 1})
+	for _, body := range []string{
+		`{`,
+		`{"unknown":1}`,
+		`{"workflow":{"kind":"magic"},"platform":{"preset":"cori-private"}}`,
+		`{"workflow":{"kind":"gen","topology":"chain","tasks":-1},"platform":{"preset":"summit"}}`,
+		``,
+	} {
+		w := postJSON(t, s, "/v1/run", body)
+		if w.Code != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", body, w.Code)
+		}
+		var resp struct{ Kind, Error string }
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+			t.Errorf("body %q: non-JSON error response %q", body, w.Body)
+		} else if resp.Kind != kindBadRequest {
+			t.Errorf("body %q: kind %q", body, resp.Kind)
+		}
+	}
+}
+
+func TestServerPanicIsolation(t *testing.T) {
+	// Without the hook the panic kind is rejected outright.
+	s := NewServer(Config{Workers: 1})
+	if w := postJSON(t, s, "/v1/run", `{"workflow":{"kind":"panic"},"platform":{"preset":"summit"}}`); w.Code != http.StatusBadRequest {
+		t.Fatalf("panic kind without hook: %d, want 400", w.Code)
+	}
+
+	// With the hook armed the worker panics; the server answers a
+	// structured 500 and keeps serving.
+	s = NewServer(Config{Workers: 1, PanicHook: true})
+	w := postJSON(t, s, "/v1/run", `{"workflow":{"kind":"panic"},"platform":{"preset":"summit"}}`)
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("panic request: %d, want 500", w.Code)
+	}
+	var resp struct{ Kind string }
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil || resp.Kind != kindPanicErr {
+		t.Fatalf("panic response %q (err %v)", w.Body, err)
+	}
+	if st := s.Stats(); st.Panics != 1 {
+		t.Errorf("panics = %d, want 1", st.Panics)
+	}
+	if st := s.Stats(); st.CachedEntries != 0 {
+		t.Error("panic poisoned the cache")
+	}
+	// The process (and the slot the panicking worker held) survived.
+	if after := postJSON(t, s, "/v1/run", validRun); after.Code != http.StatusOK {
+		t.Fatalf("run after panic: %d", after.Code)
+	}
+	if h := postJSON(t, s, "/v1/run", validRun); h.Header().Get("X-Cache") != "hit" {
+		t.Error("cache broken after panic")
+	}
+}
+
+func TestServerLoadShedding(t *testing.T) {
+	s := NewServer(Config{Workers: 1, Queue: 1})
+	// Fill the whole admission queue (in-flight + queued) from the test:
+	// the next request must shed immediately with 429 + Retry-After.
+	for i := 0; i < 2; i++ {
+		if err := s.gate.Enter(); err != nil {
+			t.Fatal(err)
+		}
+		defer s.gate.Leave()
+	}
+	w := postJSON(t, s, "/v1/run", validRun)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("saturated server: %d, want 429", w.Code)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	if st := s.Stats(); st.Sheds != 1 {
+		t.Errorf("sheds = %d, want 1", st.Sheds)
+	}
+}
+
+func TestServerDeadline(t *testing.T) {
+	s := NewServer(Config{Workers: 1})
+	// A nanosecond budget expires before the slot acquire; the request is
+	// deadline-killed with 504.
+	body := `{"workflow":{"kind":"swarp","pipelines":1},"platform":{"preset":"cori-private"},"timeout_s":1e-9}`
+	w := postJSON(t, s, "/v1/run", body)
+	if w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("expired deadline: %d, want 504 (body %s)", w.Code, w.Body)
+	}
+	if st := s.Stats(); st.DeadlineKills != 1 {
+		t.Errorf("deadline kills = %d, want 1", st.DeadlineKills)
+	}
+}
+
+func TestServerCampaign(t *testing.T) {
+	s := NewServer(Config{Workers: 4})
+	body := `{"base":` + validRun + `,"seeds":[1,2,3,4]}`
+	first := postJSON(t, s, "/v1/campaign", body)
+	if first.Code != http.StatusOK {
+		t.Fatalf("campaign: %d %s", first.Code, first.Body)
+	}
+	second := postJSON(t, s, "/v1/campaign", body)
+	if second.Code != http.StatusOK {
+		t.Fatal("second campaign failed")
+	}
+	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Error("replayed campaign bytes differ")
+	}
+	if second.Header().Get("X-Cache-Hits") != "4" {
+		t.Errorf("X-Cache-Hits = %q, want 4", second.Header().Get("X-Cache-Hits"))
+	}
+	// Byte-identical to offline evaluation (the -once path).
+	creq, err := ParseCampaignRequest([]byte(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline, err := ExecuteCampaign(creq, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Body.Bytes(), offline) {
+		t.Error("campaign response differs from offline evaluation")
+	}
+	// A campaign point and a single run share cache entries.
+	w := postJSON(t, s, "/v1/run", validRun)
+	if w.Header().Get("X-Cache") != "hit" {
+		t.Error("single run missed cache warmed by campaign")
+	}
+}
+
+func TestServerDrain(t *testing.T) {
+	s := NewServer(Config{Workers: 1})
+	if w := postJSON(t, s, "/v1/run", validRun); w.Code != http.StatusOK {
+		t.Fatal("pre-drain run failed")
+	}
+	ready := httptest.NewRecorder()
+	s.ServeHTTP(ready, httptest.NewRequest("GET", "/readyz", nil))
+	if ready.Code != http.StatusOK {
+		t.Fatalf("readyz before drain: %d", ready.Code)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.BeginDrain(ctx); err != nil {
+		t.Fatalf("BeginDrain: %v", err)
+	}
+	ready = httptest.NewRecorder()
+	s.ServeHTTP(ready, httptest.NewRequest("GET", "/readyz", nil))
+	if ready.Code != http.StatusServiceUnavailable {
+		t.Errorf("readyz while draining: %d, want 503", ready.Code)
+	}
+	if w := postJSON(t, s, "/v1/run", validRun); w.Code != http.StatusServiceUnavailable {
+		t.Errorf("run while draining: %d, want 503", w.Code)
+	}
+	// Liveness is not readiness: healthz stays 200 through the drain.
+	health := httptest.NewRecorder()
+	s.ServeHTTP(health, httptest.NewRequest("GET", "/healthz", nil))
+	if health.Code != http.StatusOK {
+		t.Errorf("healthz while draining: %d", health.Code)
+	}
+}
+
+func TestServerMetricsEndpoint(t *testing.T) {
+	s := NewServer(Config{Workers: 1, PanicHook: true})
+	if w := postJSON(t, s, "/v1/run", validRun); w.Code != http.StatusOK {
+		t.Fatal("run failed")
+	}
+	if w := postJSON(t, s, "/v1/run", validRun); w.Code != http.StatusOK {
+		t.Fatal("run failed")
+	}
+	if w := postJSON(t, s, "/v1/run", `{"workflow":{"kind":"panic"},"platform":{"preset":"summit"}}`); w.Code != http.StatusInternalServerError {
+		t.Fatal("panic request not 500")
+	}
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, httptest.NewRequest("GET", "/metrics", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("metrics: %d", w.Code)
+	}
+	body, err := io.ReadAll(w.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`bbwfsim_service_requests_total{op="run"} 3`,
+		`bbwfsim_service_cache_hits_total 1`,
+		`bbwfsim_service_panics_total 1`,
+		`bbwfsim_service_sheds_total 0`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics output missing %q\n%s", want, body)
+		}
+	}
+}
